@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the interesting output is the figure's data table (printed, use
+``pytest -s`` to see it live) and the wall time of one full experiment,
+not statistical timing of a hot loop.
+
+Durations are laptop-friendly defaults; set ``REPRO_BENCH_DURATION``
+(seconds of simulated time) to lengthen runs toward the paper's 5-10
+minute horizons.
+"""
+
+import os
+
+import pytest
+
+
+def bench_duration(default: float) -> float:
+    """Simulated seconds for a benchmark run (env-overridable)."""
+    override = os.environ.get("REPRO_BENCH_DURATION")
+    return float(override) if override else default
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument experiment exactly once under timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,29 @@
+"""Ablation bench: exact heap vs approximate O(1) calendar queue.
+
+The design choice the paper mentions from [6]: an approximate sorted
+priority queue trades a bounded emulation error for O(1) operations.
+Both variants must preserve the delay bound; the table reports the
+measured max delay, the scheduler's worst lateness (emulation error),
+and event throughput.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import ablation
+
+
+def test_ablation_queue(run_once):
+    result = run_once(lambda: ablation.run(
+        duration=bench_duration(10.0)))
+    print()
+    print(result.table())
+    heap = result.outcomes["heap"]
+    calendar = result.outcomes["calendar"]
+    # Guarantees hold under both queues.
+    assert heap.bound_holds and calendar.bound_holds
+    # The exact queue's lateness obeys the saturation invariant;
+    # the approximate queue may add at most one bin width.
+    packet_ms = 424.0 / 1.536e6 * 1e3
+    assert heap.max_lateness_ms < packet_ms
+    assert calendar.max_lateness_ms < (packet_ms
+                                       + result.bin_width * 1e3)

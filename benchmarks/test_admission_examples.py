@@ -1,0 +1,69 @@
+"""Section-2 worked-example bench: the admission procedures' d values.
+
+Regenerates the paper's table of d_{i,s} assignments for the
+three-class 100 Mbit/s example (0.4/1.8/5.6 ms under procedure 1,
+0.2/2.0/5.6 ms under procedure 2, and the 4 ms vs 0.2 ms low-rate
+contrast) and times a full admit/release churn.
+"""
+
+import pytest
+
+from repro.admission.classes import DelayClass
+from repro.admission.procedure1 import Procedure1
+from repro.admission.procedure2 import Procedure2
+from repro.analysis.report import format_table
+from repro.net.session import Session
+from repro.units import Mbps, kbps, ms
+
+CLASSES = [DelayClass(Mbps(10), ms(0.2)),
+           DelayClass(Mbps(40), ms(1.6)),
+           DelayClass(Mbps(100), ms(4))]
+CAPACITY = Mbps(100)
+
+
+def d_for(procedure_cls, rate, class_number):
+    procedure = procedure_cls(CAPACITY, CLASSES)
+    session = Session("s", rate=rate, route=["n1"], l_max=400.0)
+    return procedure.admit(session,
+                           class_number=class_number).d_of(400.0) * 1e3
+
+
+def test_admission_examples(benchmark):
+    rows = []
+    for class_number in (1, 2, 3):
+        rows.append((
+            class_number,
+            d_for(Procedure1, kbps(100), class_number),
+            d_for(Procedure2, kbps(100), class_number),
+            d_for(Procedure1, kbps(10), class_number),
+            d_for(Procedure2, kbps(10), class_number),
+        ))
+    print()
+    print(format_table(
+        ["class", "P1 100k (ms)", "P2 100k (ms)", "P1 10k (ms)",
+         "P2 10k (ms)"],
+        rows,
+        title="Section 2 worked examples — d values "
+              "(C=100 Mbit/s, L=400 bit)"))
+
+    # The paper's numbers, exactly.
+    assert rows[0][1] == pytest.approx(0.4)
+    assert rows[1][1] == pytest.approx(1.8)
+    assert rows[2][1] == pytest.approx(5.6)
+    assert rows[0][2] == pytest.approx(0.2)
+    assert rows[1][2] == pytest.approx(2.0)
+    assert rows[2][2] == pytest.approx(5.6)
+    assert rows[0][3] == pytest.approx(4.0)
+    assert rows[0][4] == pytest.approx(0.2)
+
+    # Time a realistic admit/release churn at one node.
+    def churn():
+        procedure = Procedure2(CAPACITY, CLASSES)
+        for index in range(200):
+            session = Session(f"s{index}", rate=kbps(100),
+                              route=["n1"], l_max=400.0)
+            procedure.admit(session, class_number=3)
+        for index in range(200):
+            procedure.release(f"s{index}")
+
+    benchmark(churn)

@@ -1,0 +1,22 @@
+"""Call-churn bench: dynamic admission under overload.
+
+Extension experiment (the call-admission problem of the paper's
+reference [25]): Poisson call arrivals at 60 erlangs against 48 trunks
+per link. Shape to reproduce: substantial blocking, zero guarantee
+violations among accepted calls.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import call_churn
+
+
+def test_call_churn(run_once):
+    result = run_once(lambda: call_churn.run(
+        duration=bench_duration(45.0), offered_erlangs=60.0,
+        mean_holding=8.0))
+    print()
+    print(result.table())
+    assert result.attempts > 100
+    assert 0.0 < result.blocking_probability < 0.6
+    assert result.bounds_hold()

@@ -1,0 +1,27 @@
+"""Figure 8 bench: delay distributions with and without jitter control.
+
+Paper's numbers at 10 minutes: jitter 59.7 ms (bound 66.25) without
+control vs 12.4 ms (bound 13.25) with control, and a higher mean delay
+for the controlled session.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import figure08
+
+
+def test_fig08_jitter_control(run_once):
+    result = run_once(lambda: figure08.run(
+        duration=bench_duration(30.0)))
+    print()
+    print(result.table())
+    controlled = result.jitter_ms(figure08.SESSION_CONTROL)
+    uncontrolled = result.jitter_ms(figure08.SESSION_NO_CONTROL)
+    # Bounds.
+    assert controlled <= 13.25
+    assert uncontrolled <= 66.25
+    # The headline reduction (paper: ~4.8x).
+    assert controlled < uncontrolled / 3
+    # Control trades mean delay for jitter.
+    assert (result.mean_delay_ms(figure08.SESSION_CONTROL)
+            > result.mean_delay_ms(figure08.SESSION_NO_CONTROL))

@@ -1,0 +1,29 @@
+"""Figure 12 bench: buffer space of the session WITHOUT jitter control.
+
+Paper's shape: the bound (and the occupancy) grows along the route —
+2.02 packets at node 1 up to 6.02 at node 5 — with the observed maximum
+within about two packets of the bound.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import figure08, figure12_13
+
+
+def test_fig12_buffer_nojitter(run_once):
+    result = run_once(lambda: figure12_13.run(
+        duration=bench_duration(30.0)))
+    print()
+    print(result.table())
+    session = figure08.SESSION_NO_CONTROL
+    assert result.bounds_hold()
+    # Bound staircase: +1 packet per hop.
+    assert result.bound_packets(session, "n1") < result.bound_packets(
+        session, "n5")
+    import pytest
+    assert result.bound_packets(session, "n5") - result.bound_packets(
+        session, "n1") == pytest.approx(4.0)
+    # Observed maximum within ~2 packets of the bound at the entry node.
+    slack = (result.bound_packets(session, "n1")
+             - result.max_packets(session, "n1"))
+    assert slack <= 2.1

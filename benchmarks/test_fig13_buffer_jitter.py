@@ -1,0 +1,26 @@
+"""Figure 13 bench: buffer space of the session WITH jitter control.
+
+Paper's shape: the bound flattens after node 2 (3.02 packets at every
+downstream node) because the regulators restore the entry traffic
+pattern at each hop.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import figure08, figure12_13
+
+
+def test_fig13_buffer_jitter(run_once):
+    result = run_once(lambda: figure12_13.run(
+        duration=bench_duration(30.0), seed=1))
+    print()
+    print(result.table())
+    session = figure08.SESSION_CONTROL
+    assert result.bounds_hold()
+    # Flat bound downstream, unlike Figure 12's staircase.
+    import pytest
+    assert result.bound_packets(session, "n5") == pytest.approx(
+        result.bound_packets(session, "n1") + 1.0)
+    # And strictly below the uncontrolled session's node-5 bound.
+    assert result.bound_packets(session, "n5") < result.bound_packets(
+        figure08.SESSION_NO_CONTROL, "n5")

@@ -1,0 +1,34 @@
+"""Figures 14-17 bench: procedure 2 with two delay classes.
+
+Paper's shape: class-1 sessions (d = 2.77 ms) see markedly lower max
+delay and jitter than class-2 sessions (d = 18.8 ms) at every a_OFF;
+jitter control compresses jitter within each class.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import figure14_17
+from repro.units import ms
+
+
+def test_fig14_17_two_classes(run_once):
+    result = run_once(lambda: figure14_17.run(
+        duration=bench_duration(8.0),
+        a_off_values=[ms(v) for v in (6.5, 88.0, 650.0)]))
+    print()
+    print(result.table())
+    assert result.bounds_hold()
+    assert result.class_hierarchy_holds()
+
+    rows = {(r.figure, r.a_off_ms): r for r in result.rows}
+    for a_off in {key[1] for key in rows}:
+        class1 = rows[("fig14-class1-nojc", a_off)]
+        class2 = rows[("fig16-class2-nojc", a_off)]
+        # Delay shifting: class 1's bound (and in practice its delay)
+        # sits below class 2's.
+        assert class1.delay_bound_ms < class2.delay_bound_ms
+        # Jitter control inside each class.
+        jc1 = rows[("fig15-class1-jc", a_off)]
+        assert jc1.jitter_ms <= jc1.jitter_bound_ms
+        jc2 = rows[("fig17-class2-jc", a_off)]
+        assert jc2.jitter_ms <= jc2.jitter_bound_ms

@@ -1,0 +1,24 @@
+"""Firewall-property bench: isolation from misbehaving cross traffic.
+
+The paper's motivation for Poisson cross traffic, made explicit: cross
+sessions offering 120 % of their reservation leave a Leave-in-Time
+session's guarantees intact, while FCFS lets the overload flood the
+target (its delay exceeds the would-be bound by orders of magnitude).
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import firewall
+
+
+def test_firewall_property(run_once):
+    result = run_once(lambda: firewall.run(
+        duration=bench_duration(15.0), overload=1.2))
+    print()
+    print(result.table())
+    lit = result.outcomes["leave-in-time"]
+    fcfs = result.outcomes["fcfs"]
+    assert lit.bound_holds
+    assert not fcfs.bound_holds
+    # Orders of magnitude, not a marginal miss.
+    assert fcfs.max_delay_ms > 10 * lit.max_delay_ms

@@ -1,0 +1,24 @@
+"""Hop-scaling bench: (N−1)·L/r growth vs delay shifting (§1 motivation).
+
+The series the paper's introduction implies: the end-to-end bound grows
+~14.5 ms per hop for a 32 kbit/s session in VirtualClock mode, and only
+``d + L_MAX/C + Γ`` per hop once admission control shifts the delay.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import hop_scaling
+
+
+def test_hop_scaling(run_once):
+    result = run_once(lambda: hop_scaling.run(
+        duration=bench_duration(8.0), hop_counts=(1, 2, 4, 6, 8)))
+    print()
+    print(result.table())
+    assert result.bounds_hold()
+    vc = result.per_hop_growth("virtual-clock")
+    shifted = result.per_hop_growth("shifted")
+    print(f"\nper-hop bound growth: virtual-clock {vc:.2f} ms, "
+          f"shifted {shifted:.2f} ms")
+    assert abs(vc - 14.53) < 0.05
+    assert shifted < vc / 3

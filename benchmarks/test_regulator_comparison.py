@@ -1,0 +1,28 @@
+"""Regulator-comparison bench: what each mechanism's guarantee rests on.
+
+LiT jitter control vs Jitter-EDD on the Figure-8 workload, against
+conformant (Deterministic) and unpoliced (Poisson) cross traffic. The
+shape: both hold their jitter bounds under conformant cross traffic;
+under unpoliced cross traffic Leave-in-Time still holds (isolation
+needs only the reservation) while Jitter-EDD's bound — premised on the
+cross sessions' (x_min, x_ave, I, P) declarations — breaks.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import regulator_comparison
+
+
+def test_regulator_comparison(run_once):
+    result = run_once(lambda: regulator_comparison.run(
+        duration=bench_duration(20.0)))
+    print()
+    print(result.table())
+    assert result.outcome("leave-in-time",
+                          "conformant").jitter_bound_holds
+    assert result.outcome("leave-in-time",
+                          "unpoliced").jitter_bound_holds
+    assert result.outcome("jitter-edd",
+                          "conformant").jitter_bound_holds
+    assert not result.outcome("jitter-edd",
+                              "unpoliced").jitter_bound_holds

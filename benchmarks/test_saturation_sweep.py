@@ -1,0 +1,24 @@
+"""Saturation-sweep bench: the admission rules as a phase transition.
+
+Sweeping the uniform service parameter d downward across the eq.-19
+threshold (13.25 ms for 48x32 kbit/s on a T1) on a near-peak workload:
+feasible d keeps worst lateness under one packet time; far-infeasible
+d breaks the F̂ < F + L_MAX/C invariant — the failure admission control
+exists to prevent.
+"""
+
+from conftest import bench_duration
+
+from repro.experiments import saturation
+
+
+def test_saturation_sweep(run_once):
+    result = run_once(lambda: saturation.run(
+        duration=bench_duration(15.0)))
+    print()
+    print(result.table())
+    assert result.phase_transition_matches_feasibility()
+    # The monotone story: lateness grows as d shrinks.
+    ordered = sorted(result.rows, key=lambda r: r.d_ms, reverse=True)
+    lateness = [r.max_lateness_ms for r in ordered]
+    assert lateness == sorted(lateness)

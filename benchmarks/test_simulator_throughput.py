@@ -1,0 +1,57 @@
+"""Raw substrate throughput: events/second of the DES kernel and the
+full forwarding path.
+
+Not a paper figure — the calibration number for choosing bench
+durations. Timed with real pytest-benchmark rounds (these are the only
+benchmarks here cheap enough to repeat).
+"""
+
+from repro.net.session import Session
+from repro.sched.fcfs import FCFS
+from repro.sched.leave_in_time import LeaveInTime
+from repro.sim.kernel import Simulator
+from repro.traffic.deterministic import DeterministicSource
+from repro.net.network import Network
+
+
+def test_kernel_event_dispatch(benchmark):
+    def spin():
+        sim = Simulator()
+
+        def tick():
+            if sim.now < 1.0:
+                sim.schedule(0.0001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_dispatched
+
+    events = benchmark(spin)
+    # 1 s of 0.1 ms self-rescheduling ticks; float accumulation makes
+    # the count 10001 +/- 1.
+    assert 10_000 <= events <= 10_002
+
+
+def _forwarding_run(scheduler_factory):
+    network = Network(seed=0)
+    for index in range(1, 4):
+        network.add_node(f"n{index}", scheduler_factory(),
+                         capacity=1e6)
+    route = ["n1", "n2", "n3"]
+    for k in range(4):
+        session = Session(f"s{k}", rate=2e5, route=route, l_max=1000.0)
+        network.add_session(session, keep_samples=False)
+        DeterministicSource(network, session, length=1000.0,
+                            interval=0.005, start_delay=0.001 * k)
+    network.run(5.0)
+    return network.sim.events_dispatched
+
+
+def test_forwarding_path_fcfs(benchmark):
+    events = benchmark(lambda: _forwarding_run(FCFS))
+    assert events > 10_000
+
+
+def test_forwarding_path_leave_in_time(benchmark):
+    events = benchmark(lambda: _forwarding_run(LeaveInTime))
+    assert events > 10_000

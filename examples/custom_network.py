@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Custom heterogeneous network + per-hop diagnostics.
+
+The library is not tied to the paper's Figure-6 topology: this example
+builds a fast-slow-fast access path (1 Mbit/s edges around a 128 kbit/s
+bottleneck with satellite-ish 10 ms propagation), admits a jitter-
+controlled sensor stream across it, provisions finite buffers at the
+closed-form bound, and uses the per-hop decomposition to show where the
+delay actually lives.
+
+Run:  python examples/custom_network.py
+"""
+
+from repro import LeaveInTime, Network, OnOffSource, Session, kbps, ms
+from repro.analysis import network_summary, per_hop_delays
+from repro.bounds import compute_session_bounds, provision_buffers
+from repro.sim.trace import Tracer
+
+
+def main() -> None:
+    network = Network(seed=5, tracer=Tracer(enabled=True))
+    network.add_node("uplink", LeaveInTime(), capacity=1_000_000.0,
+                     propagation=ms(2))
+    network.add_node("backhaul", LeaveInTime(), capacity=128_000.0,
+                     propagation=ms(10))
+    network.add_node("core", LeaveInTime(), capacity=1_000_000.0,
+                     propagation=ms(1))
+
+    sensor = Session("sensor", rate=kbps(32),
+                     route=["uplink", "backhaul", "core"], l_max=424,
+                     jitter_control=True,
+                     token_bucket=(kbps(32), 424))
+    network.add_session(sensor)
+    OnOffSource(network, sensor, length=424, spacing=ms(13.25),
+                mean_on=ms(352), mean_off=ms(88))
+
+    # Competing best-effort load on each hop, sized to the hop.
+    for name, rate in (("uplink", kbps(800)), ("backhaul", kbps(64)),
+                       ("core", kbps(800))):
+        bg = Session(f"bg-{name}", rate=rate, route=[name], l_max=424)
+        network.add_session(bg, keep_samples=False)
+        OnOffSource(network, bg, length=424, spacing=424 / rate,
+                    mean_on=ms(352), mean_off=ms(88),
+                    stream_name=f"bg-{name}")
+
+    # Guarantees before a single packet flows.
+    bounds = compute_session_bounds(network, sensor)
+    limits = provision_buffers(network, sensor)
+    print(f"delay bound : {bounds.max_delay * 1e3:.2f} ms")
+    print(f"jitter bound: {bounds.jitter * 1e3:.2f} ms")
+    print("buffer limits installed (pkts):",
+          [round(l / 424, 2) for l in limits])
+
+    network.run(30.0)
+
+    sink = network.sink("sensor")
+    print(f"\nmeasured: max {sink.max_delay * 1e3:.2f} ms, "
+          f"jitter {sink.jitter * 1e3:.2f} ms, "
+          f"{sink.received} packets, "
+          f"drops {sum(network.node(n).drops.get('sensor', 0) for n in sensor.route)}")
+    assert sink.max_delay <= bounds.max_delay
+    assert sink.jitter <= bounds.jitter
+
+    print(f"\n{'hop':10s} {'pkts':>5s} {'mean(ms)':>9s} {'max(ms)':>8s}")
+    for hop in per_hop_delays(network, "sensor"):
+        node, packets, mean_ms, max_ms = hop.as_row()
+        print(f"{node:10s} {packets:5d} {mean_ms:9.2f} {max_ms:8.2f}")
+    print("\nthe backhaul transmission plus the downstream regulator "
+          "hold carry almost all of the delay — exactly what the β "
+          "term's per-hop constants predict.")
+
+    print()
+    print(network_summary(network))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""``python -m repro`` — same interface as the ``leave-in-time`` script."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Shared admission-procedure machinery.
+
+A procedure instance guards ONE server node (one outgoing link). It
+tracks admitted sessions, enforces the rate-reservation constraint
+(paper eq. 18) common to all three procedures, and mints the
+:class:`~repro.sched.policy.DelayPolicy` that fixes ``d_{i,s}`` at this
+node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import AdmissionError
+from repro.net.session import Session
+from repro.sched.policy import DelayPolicy
+
+__all__ = ["AdmittedSession", "Procedure"]
+
+#: Slack for floating-point equality in the ≤-capacity tests; the
+#: paper's configurations commit capacity *exactly* (48 × 32 kbit/s on
+#: a 1536 kbit/s link), which must pass.
+RATE_EPSILON = 1e-6
+
+
+@dataclass
+class AdmittedSession:
+    """What a procedure remembers about an admitted session."""
+
+    session_id: str
+    rate: float
+    l_max: float
+
+
+class Procedure(ABC):
+    """Base class: one admission procedure guarding one link."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise AdmissionError(
+                f"link capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self._admitted: Dict[str, AdmittedSession] = {}
+
+    # ------------------------------------------------------------------
+    # Common state
+    # ------------------------------------------------------------------
+    @property
+    def reserved_rate(self) -> float:
+        """Σ r_j over admitted sessions."""
+        return sum(entry.rate for entry in self._admitted.values())
+
+    @property
+    def admitted_count(self) -> int:
+        return len(self._admitted)
+
+    def is_admitted(self, session_id: str) -> bool:
+        return session_id in self._admitted
+
+    def check_rate_reservation(self, session: Session) -> None:
+        """Paper eq. 18: Σ r_j ≤ C including the candidate."""
+        if self.reserved_rate + session.rate > self.capacity + RATE_EPSILON:
+            raise AdmissionError(
+                f"rate reservation would exceed capacity: "
+                f"{self.reserved_rate + session.rate:.0f} > "
+                f"{self.capacity:.0f} bit/s",
+                rule="eq-18")
+
+    # ------------------------------------------------------------------
+    # Procedure-specific
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def admit(self, session: Session, **options) -> DelayPolicy:
+        """Run every test; record the session; return its delay policy.
+
+        Raises :class:`~repro.errors.AdmissionError` (leaving state
+        untouched) if any test fails.
+        """
+
+    def release(self, session_id: str) -> None:
+        """Tear down a session's reservation (connection teardown)."""
+        self._admitted.pop(session_id, None)

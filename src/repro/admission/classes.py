@@ -1,0 +1,55 @@
+"""Delay classes: the ``(R_k, σ_k)`` pairs of procedures 1 and 2.
+
+Classes are nested (Figure 5 of the paper): class ``k``'s bandwidth cap
+``R_k`` *includes* the bandwidth of all lower classes, so ``R`` and
+``σ`` must both be non-decreasing and ``R_P`` must equal the link
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DelayClass", "validate_classes"]
+
+
+@dataclass(frozen=True)
+class DelayClass:
+    """One class: bandwidth cap ``R`` (bit/s) and base delay ``σ`` (s)."""
+
+    limit_rate: float
+    base_delay: float
+
+    def __post_init__(self) -> None:
+        if self.limit_rate <= 0:
+            raise ConfigurationError(
+                f"class limit rate must be positive, got {self.limit_rate}")
+        if self.base_delay < 0:
+            raise ConfigurationError(
+                f"class base delay must be non-negative, "
+                f"got {self.base_delay}")
+
+
+def validate_classes(classes: Sequence[DelayClass],
+                     capacity: float) -> List[DelayClass]:
+    """Check the nesting constraints: R, σ non-decreasing; R_P = C."""
+    if not classes:
+        raise ConfigurationError("at least one delay class is required")
+    ordered = list(classes)
+    for lower, higher in zip(ordered, ordered[1:]):
+        if higher.limit_rate < lower.limit_rate:
+            raise ConfigurationError(
+                "class limit rates must be non-decreasing "
+                f"({higher.limit_rate} after {lower.limit_rate})")
+        if higher.base_delay < lower.base_delay:
+            raise ConfigurationError(
+                "class base delays must be non-decreasing "
+                f"({higher.base_delay} after {lower.base_delay})")
+    if abs(ordered[-1].limit_rate - capacity) > 1e-6:
+        raise ConfigurationError(
+            f"the last class must span the link: R_P = {capacity}, "
+            f"got {ordered[-1].limit_rate}")
+    return ordered

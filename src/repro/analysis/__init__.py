@@ -1,0 +1,41 @@
+"""Measurement reduction: distributions, summaries, buffer statistics,
+and plain-text report tables for the experiment harness."""
+
+from repro.analysis.buffers import BufferDistribution, buffer_distribution
+from repro.analysis.confidence import ConfidenceInterval, batch_means
+from repro.analysis.export import (
+    write_ccdf_csv,
+    write_rows_csv,
+    write_series_csv,
+)
+from repro.analysis.per_hop import HopBreakdown, per_hop_delays
+from repro.analysis.histogram import (
+    ccdf_at,
+    empirical_ccdf,
+    empirical_cdf,
+    histogram,
+    tail_percentile,
+)
+from repro.analysis.report import format_row, format_table, network_summary
+from repro.analysis.stats import DelaySummary
+
+__all__ = [
+    "empirical_ccdf",
+    "empirical_cdf",
+    "ccdf_at",
+    "histogram",
+    "tail_percentile",
+    "DelaySummary",
+    "BufferDistribution",
+    "buffer_distribution",
+    "format_table",
+    "format_row",
+    "batch_means",
+    "ConfidenceInterval",
+    "write_series_csv",
+    "write_rows_csv",
+    "write_ccdf_csv",
+    "per_hop_delays",
+    "HopBreakdown",
+    "network_summary",
+]

@@ -1,0 +1,71 @@
+"""CSV export of experiment series.
+
+Every figure's runner returns arrays/rows; these helpers write them in
+a plot-ready CSV form so users can regenerate the paper's figures with
+any plotting tool without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["write_series_csv", "write_rows_csv", "write_ccdf_csv"]
+
+
+def write_series_csv(path, columns: dict) -> Path:
+    """Write named, equal-length columns as CSV.
+
+    ``columns`` maps header name to a sequence; all sequences must
+    have the same length.
+    """
+    names = list(columns)
+    if not names:
+        raise ConfigurationError("no columns to write")
+    lengths = {name: len(columns[name]) for name in names}
+    if len(set(lengths.values())) != 1:
+        raise ConfigurationError(
+            f"column lengths differ: {lengths}")
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(columns[name] for name in names)):
+            writer.writerow(row)
+    return target
+
+
+def write_rows_csv(path, rows: Iterable) -> Path:
+    """Write a sequence of dataclass instances as CSV (one per row)."""
+    materialized = list(rows)
+    if not materialized:
+        raise ConfigurationError("no rows to write")
+    first = materialized[0]
+    if not is_dataclass(first):
+        raise ConfigurationError(
+            "write_rows_csv expects dataclass rows")
+    names = [f.name for f in fields(first)]
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in materialized:
+            writer.writerow([getattr(row, name) for name in names])
+    return target
+
+
+def write_ccdf_csv(path, delays_ms: Sequence[float],
+                   measured: Sequence[float],
+                   analytical: Sequence[float] | None = None,
+                   simulated: Sequence[float] | None = None) -> Path:
+    """Write the Figure-9/10/11 style curves to CSV."""
+    columns = {"delay_ms": delays_ms, "measured_ccdf": measured}
+    if analytical is not None:
+        columns["analytical_bound"] = analytical
+    if simulated is not None:
+        columns["simulated_bound"] = simulated
+    return write_series_csv(path, columns)

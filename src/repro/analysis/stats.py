@@ -1,0 +1,54 @@
+"""Per-session delay summaries extracted from sinks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.histogram import tail_percentile
+from repro.net.sink import Sink
+
+__all__ = ["DelaySummary"]
+
+
+@dataclass(frozen=True)
+class DelaySummary:
+    """The paper's end-to-end observables for one session."""
+
+    session_id: str
+    packets: int
+    mean_delay: float
+    min_delay: float
+    max_delay: float
+    jitter: float
+    stddev: float
+
+    @classmethod
+    def from_sink(cls, sink: Sink) -> "DelaySummary":
+        return cls(
+            session_id=sink.session_id,
+            packets=sink.delay.count,
+            mean_delay=sink.delay.mean,
+            min_delay=sink.min_delay,
+            max_delay=sink.max_delay,
+            jitter=sink.jitter,
+            stddev=sink.delay.stddev,
+        )
+
+    def percentile(self, sink: Sink, tail_probability: float
+                   ) -> Optional[float]:
+        """Tail percentile from the sink's raw samples, if kept."""
+        if sink.samples is None or len(sink.samples) == 0:
+            return None
+        return tail_percentile(sink.samples.values, tail_probability)
+
+    def as_row(self, scale: float = 1e3) -> dict:
+        """Row dict with times scaled (default to milliseconds)."""
+        return {
+            "session": self.session_id,
+            "packets": self.packets,
+            "mean": self.mean_delay * scale,
+            "min": self.min_delay * scale,
+            "max": self.max_delay * scale,
+            "jitter": self.jitter * scale,
+        }

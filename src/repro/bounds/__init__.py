@@ -1,0 +1,61 @@
+"""Closed-form service guarantees (paper Section 2).
+
+Every guarantee Leave-in-Time offers is a constant shift of a quantity
+of the session's *reference server*:
+
+* end-to-end delay bound (eq. 12 / eq. 15),
+* end-to-end delay-distribution bound (eq. 16),
+* end-to-end delay-jitter bound (eq. 17),
+* per-node buffer-space bounds,
+
+plus the M/D/1 waiting-time analysis used for the analytical curves of
+Figures 9-11 and the Section-4 comparison arithmetic against
+Stop-and-Go and PGPS.
+"""
+
+from repro.bounds.buffer import buffer_bound, buffer_bounds_along_route
+from repro.bounds.comparisons import (
+    StopAndGoComparison,
+    compare_with_stop_and_go,
+    pgps_delay_bound,
+)
+from repro.bounds.delay import (
+    SessionBounds,
+    alpha_constant,
+    beta_constant,
+    compute_session_bounds,
+    delay_bound,
+    provision_buffers,
+    token_bucket_reference_delay,
+)
+from repro.bounds.distribution import shifted_ccdf, shifted_ccdf_function
+from repro.bounds.jitter import delta_max, jitter_bound
+from repro.bounds.md1 import (
+    md1_delay_ccdf,
+    md1_mean_wait,
+    md1_wait_ccdf,
+    md1_wait_cdf,
+)
+
+__all__ = [
+    "SessionBounds",
+    "compute_session_bounds",
+    "delay_bound",
+    "beta_constant",
+    "alpha_constant",
+    "token_bucket_reference_delay",
+    "jitter_bound",
+    "delta_max",
+    "buffer_bound",
+    "buffer_bounds_along_route",
+    "provision_buffers",
+    "shifted_ccdf",
+    "shifted_ccdf_function",
+    "md1_wait_cdf",
+    "md1_wait_ccdf",
+    "md1_delay_ccdf",
+    "md1_mean_wait",
+    "pgps_delay_bound",
+    "compare_with_stop_and_go",
+    "StopAndGoComparison",
+]

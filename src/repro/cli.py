@@ -1,0 +1,127 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Examples::
+
+    leave-in-time figure07 --duration 20
+    leave-in-time figure09 --duration 60 --seed 3
+    leave-in-time section4
+    leave-in-time all --duration 10        # quick pass over everything
+    python -m repro figure08               # equivalent module form
+
+Durations default to laptop-friendly values; pass ``--full`` for the
+paper's 5- or 10-minute horizons (slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    ablation,
+    call_churn,
+    figure07,
+    figure08,
+    figure09,
+    figure10,
+    figure11,
+    figure12_13,
+    figure14_17,
+    firewall,
+    hop_scaling,
+    md1_validation,
+    regulator_comparison,
+    saturation,
+    section4,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment name -> (runner accepting duration/seed, paper duration).
+_SIMULATED: Dict[str, tuple] = {
+    "figure07": (figure07.run, 300.0),
+    "figure08": (figure08.run, 600.0),
+    "figure09": (figure09.run, 600.0),
+    "figure10": (figure10.run, 600.0),
+    "figure11": (figure11.run, 600.0),
+    "figure12_13": (figure12_13.run, 600.0),
+    "figure14_17": (figure14_17.run, 300.0),
+    "firewall": (firewall.run, 60.0),
+    "ablation": (ablation.run, 30.0),
+    "hop_scaling": (hop_scaling.run, 60.0),
+    "call_churn": (call_churn.run, 300.0),
+    "md1_validation": (md1_validation.run, 600.0),
+    "saturation": (saturation.run, 120.0),
+    "regulator_comparison": (regulator_comparison.run, 120.0),
+}
+
+#: Purely analytic experiments (no duration/seed).
+_ANALYTIC: Dict[str, Callable] = {
+    "section4": section4.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="leave-in-time",
+        description="Reproduce the figures and tables of Figueira & "
+                    "Pasquale, 'Leave-in-Time' (SIGCOMM '95).")
+    choices = sorted(_SIMULATED) + sorted(_ANALYTIC) + ["all"]
+    parser.add_argument("experiment", choices=choices,
+                        help="which figure/table to regenerate")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (default: quick preset)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master RNG seed")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full run durations")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write plot-ready CSV files into DIR "
+                             "(for experiments that support export)")
+    return parser
+
+
+def _run_simulated(name: str, duration: Optional[float], seed: int,
+                   full: bool, csv_dir: Optional[str]) -> str:
+    runner, paper_duration = _SIMULATED[name]
+    if duration is None:
+        duration = paper_duration if full else None
+    if duration is None:
+        result = runner(seed=seed)
+    else:
+        result = runner(duration=duration, seed=seed)
+    _maybe_export(name, result, csv_dir)
+    return result.table()
+
+
+def _maybe_export(name: str, result, csv_dir: Optional[str]) -> None:
+    if csv_dir is None:
+        return
+    to_csv = getattr(result, "to_csv", None)
+    if to_csv is None:
+        return
+    from pathlib import Path
+    directory = Path(csv_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / f"{name}.csv"
+    to_csv(target)
+    print(f"[csv written to {target}]")
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = (sorted(_SIMULATED) + sorted(_ANALYTIC)
+             if args.experiment == "all" else [args.experiment])
+    for name in names:
+        if name in _ANALYTIC:
+            print(_ANALYTIC[name]().table())
+        else:
+            print(_run_simulated(name, args.duration, args.seed,
+                                 args.full, args.csv))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

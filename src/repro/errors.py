@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Leave-in-Time reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "AdmissionError",
+    "SchedulerSaturationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency detected by the discrete-event kernel."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid network, session, or experiment configuration."""
+
+
+class AdmissionError(ReproError):
+    """A session failed an admission-control test.
+
+    Carries enough context to report *which* rule failed at *which*
+    node, mirroring how a connection-establishment attempt would be
+    rejected hop by hop.
+    """
+
+    def __init__(self, message: str, *, rule: str | None = None,
+                 node: str | None = None) -> None:
+        super().__init__(message)
+        self.rule = rule
+        self.node = node
+
+
+class SchedulerSaturationError(AdmissionError):
+    """Admitting the session would allow scheduler saturation.
+
+    Scheduler saturation is the paper's term for a server no longer
+    being able to bound the gap between a packet's transmission
+    deadline and its actual end of transmission.
+    """

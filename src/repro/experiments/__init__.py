@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper figure plus the Section-4
+analytic comparisons, the firewall-property experiment, and the queue
+ablation. Each module exposes ``run(...)`` returning a result object
+with a ``table()`` method printing the figure's rows, and the shared
+paper constants live in :mod:`repro.experiments.common`."""
+
+from repro.experiments.common import (
+    PAPER_A_OFF_SWEEP_S,
+    PAPER_A_ON_S,
+    PAPER_ONOFF_RATE_BPS,
+    PAPER_PACKET_BITS,
+    PAPER_SPACING_S,
+    add_onoff_session,
+    add_poisson_cross_traffic,
+    build_cross_network,
+    build_mix_network,
+)
+
+__all__ = [
+    "PAPER_PACKET_BITS",
+    "PAPER_SPACING_S",
+    "PAPER_A_ON_S",
+    "PAPER_A_OFF_SWEEP_S",
+    "PAPER_ONOFF_RATE_BPS",
+    "build_mix_network",
+    "build_cross_network",
+    "add_onoff_session",
+    "add_poisson_cross_traffic",
+]

@@ -1,0 +1,40 @@
+"""Outgoing links: capacity and propagation delay.
+
+A :class:`Link` is pure data — the owning :class:`~repro.net.node.ServerNode`
+performs the transmission timing (``L/C``) and schedules delivery after
+the propagation delay ``Γ``. Keeping the link passive matches the
+paper's model, where all queueing happens at the server and the link
+only contributes the two constants that appear in the β term of the
+delay bound (paper eq. 13)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Link"]
+
+
+class Link:
+    """An outgoing link with capacity ``C`` (bit/s) and propagation ``Γ`` (s)."""
+
+    __slots__ = ("capacity", "propagation")
+
+    def __init__(self, capacity: float, propagation: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"link capacity must be positive, got {capacity}")
+        if propagation < 0:
+            raise ConfigurationError(
+                f"link propagation must be non-negative, got {propagation}")
+        self.capacity = float(capacity)
+        self.propagation = float(propagation)
+
+    def transmission_time(self, length_bits: float) -> float:
+        """Time to clock ``length_bits`` onto the link: ``L / C``."""
+        if length_bits < 0:
+            raise ConfigurationError(
+                f"packet length must be non-negative, got {length_bits}")
+        return length_bits / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link C={self.capacity:g}bps Γ={self.propagation:g}s>"

@@ -1,0 +1,182 @@
+"""Network assembly: nodes, sessions, sources, sinks, and delivery.
+
+A :class:`Network` wires :class:`~repro.net.node.ServerNode` objects
+together implicitly through session routes (the paper's model is
+connection-oriented: packets follow their session's fixed node list, so
+no routing table is needed). It owns the simulator, the random streams,
+and the per-session sinks, and exposes :meth:`inject` for traffic
+sources and :meth:`run` for experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.link import Link
+from repro.net.node import ServerNode
+from repro.net.packet import Packet
+from repro.net.session import Session
+from repro.net.sink import Sink
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A packet network with pluggable per-node service disciplines."""
+
+    def __init__(self, *, sim: Optional[Simulator] = None, seed: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 l_max_network: Optional[float] = None) -> None:
+        self.sim = sim or Simulator()
+        self.streams = RandomStreams(seed)
+        self.tracer = tracer or Tracer(False)
+        self.nodes: Dict[str, ServerNode] = {}
+        self.sessions: Dict[str, Session] = {}
+        self.sinks: Dict[str, Sink] = {}
+        self.sources: List[object] = []
+        #: ``L_MAX``: the maximum packet length allowed in the network
+        #: (paper eq. 9 and eq. 13). Grows automatically as sessions
+        #: register unless pinned explicitly here.
+        self._l_max_network = l_max_network
+        self._l_max_seen = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, scheduler, *, capacity: float,
+                 propagation: float = 0.0) -> ServerNode:
+        """Create a server node with one outgoing link."""
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+        link = Link(capacity, propagation)
+        node = ServerNode(name, link, scheduler, self.sim, self.tracer)
+        node.network = self
+        self.nodes[name] = node
+        return node
+
+    def add_session(self, session: Session, *, keep_samples: bool = True,
+                    max_samples: Optional[int] = None,
+                    warmup: float = 0.0,
+                    keep_packets: bool = False) -> Sink:
+        """Register a session on every node of its route; create its sink."""
+        if session.id in self.sessions:
+            raise ConfigurationError(f"duplicate session id {session.id!r}")
+        missing = [n for n in session.route if n not in self.nodes]
+        if missing:
+            raise ConfigurationError(
+                f"session {session.id!r} routes through unknown nodes "
+                f"{missing}")
+        self.sessions[session.id] = session
+        if session.l_max > self._l_max_seen:
+            self._l_max_seen = session.l_max
+        for node_name in session.route:
+            self.nodes[node_name].register_session(session)
+        sink = Sink(session.id, keep_samples=keep_samples,
+                    max_samples=max_samples, warmup=warmup,
+                    keep_packets=keep_packets)
+        self.sinks[session.id] = sink
+        return sink
+
+    def remove_session(self, session_id: str, *,
+                       keep_sink: bool = True) -> None:
+        """Tear a session out of the network after it has drained.
+
+        Drops the session from the routing table, clears per-node
+        scheduler and buffer state, and (optionally) discards its sink.
+        Long-running call churn relies on this to keep per-session state
+        from accumulating. Removing a session whose packets are still
+        in flight raises — stop its source and let the network drain
+        first.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise ConfigurationError(f"unknown session {session_id!r}")
+        for node_name in session.route:
+            node = self.nodes[node_name]
+            in_flight = node.buffer_bits.get(session_id, 0.0)
+            if in_flight > 1e-9:
+                raise SimulationError(
+                    f"session {session_id!r} still has {in_flight:.0f} "
+                    f"bits at {node_name!r}; drain before removal")
+        for node_name in session.route:
+            node = self.nodes[node_name]
+            node.scheduler.forget_session(session_id)
+            node.buffer_bits.pop(session_id, None)
+            node.buffer_peak.pop(session_id, None)
+            node.buffer_samples.pop(session_id, None)
+            node.buffer_limits.pop(session_id, None)
+        del self.sessions[session_id]
+        if not keep_sink:
+            self.sinks.pop(session_id, None)
+
+    @property
+    def l_max(self) -> float:
+        """``L_MAX``, the largest packet length allowed in the network."""
+        if self._l_max_network is not None:
+            return self._l_max_network
+        if self._l_max_seen > 0:
+            return self._l_max_seen
+        raise ConfigurationError(
+            "L_MAX unknown: no sessions registered and no explicit value")
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def inject(self, session: Session, length: float) -> Packet:
+        """A source hands the network a fully generated packet *now*.
+
+        The packet's last bit is considered to arrive at the first node
+        of the session's route at the current instant, which is the
+        origin of the end-to-end delay measurement.
+        """
+        if length > session.l_max:
+            raise SimulationError(
+                f"session {session.id!r} generated a packet of {length} bits "
+                f"exceeding its declared l_max {session.l_max}")
+        session.packets_sent += 1
+        packet = Packet(session, session.packets_sent, length, self.sim.now)
+        packet.hop_index = 0
+        self.nodes[session.route[0]].receive(packet)
+        return packet
+
+    def deliver(self, packet: Packet) -> None:
+        """Move a transmitted packet to its next hop or its sink."""
+        session = packet.session
+        if session.is_last_hop(packet.hop_index):
+            self.sinks[session.id].receive(packet, self.sim.now)
+            return
+        packet.hop_index += 1
+        self.nodes[session.node_at(packet.hop_index)].receive(packet)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def add_source(self, source) -> None:
+        """Track a traffic source so :meth:`run` can start it."""
+        self.sources.append(source)
+
+    def run(self, duration: float) -> None:
+        """Start all sources (idempotently) and run for ``duration`` seconds."""
+        for source in self.sources:
+            start = getattr(source, "start", None)
+            if start is not None and not getattr(source, "started", False):
+                start()
+        self.sim.run(until=duration)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def sink(self, session_id: str) -> Sink:
+        return self.sinks[session_id]
+
+    def node(self, name: str) -> ServerNode:
+        return self.nodes[name]
+
+    def reserved_rate(self, node_name: str) -> float:
+        """Sum of reserved rates of sessions traversing ``node_name``."""
+        return sum(s.rate for s in self.sessions.values()
+                   if node_name in s.route)

@@ -1,0 +1,173 @@
+"""Server nodes: one outgoing link plus a pluggable service discipline.
+
+A :class:`ServerNode` implements the paper's store-and-forward timing
+exactly:
+
+* a packet *arrives* when its last bit arrives;
+* transmitting a packet of length ``L`` occupies the link for ``L/C``;
+* the packet's actual finishing transmission time (``F̂``) is recorded
+  and handed to the scheduler (Leave-in-Time derives the downstream
+  holding time from it);
+* delivery to the next node (or sink) happens a propagation delay ``Γ``
+  after transmission finishes.
+
+The node also measures per-session buffer occupancy the way the paper's
+Figures 12-13 do: sampled at the instant a packet's last bit arrives,
+counting queued, held, *and in-transmission* bits of that session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.session import Session
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import TimeSeries
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.sched.base import Scheduler
+
+__all__ = ["ServerNode"]
+
+
+class ServerNode:
+    """One server: scheduler + outgoing link."""
+
+    def __init__(self, name: str, link: Link, scheduler: "Scheduler",
+                 sim: Simulator, tracer: Optional[Tracer] = None) -> None:
+        self.name = name
+        self.link = link
+        self.scheduler = scheduler
+        self.sim = sim
+        self.tracer = tracer or Tracer(False)
+        scheduler.bind(self, sim, self.tracer)
+        self.network: Optional["Network"] = None
+
+        self.transmitting: Optional[Packet] = None
+        #: Bits of each session currently at this node (held, queued, or
+        #: in transmission).
+        self.buffer_bits: Dict[str, float] = {}
+        #: Arrival-sampled buffer occupancy for monitored sessions.
+        self.buffer_samples: Dict[str, TimeSeries] = {}
+        #: Peak per-session occupancy, tracked for every session.
+        self.buffer_peak: Dict[str, float] = {}
+        #: Optional per-session buffer limits in bits. A packet whose
+        #: arrival would push its session past the limit is dropped —
+        #: the paper's buffer bounds are exactly the provisioning level
+        #: at which this never happens.
+        self.buffer_limits: Dict[str, float] = {}
+        #: Dropped-packet counts per session (finite buffers only).
+        self.drops: Dict[str, int] = {}
+
+        self.packets_served = 0
+        self.bits_served = 0.0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Session registration
+    # ------------------------------------------------------------------
+    def register_session(self, session: Session) -> None:
+        """Prepare per-session state and inform the scheduler."""
+        self.buffer_bits.setdefault(session.id, 0.0)
+        self.buffer_peak.setdefault(session.id, 0.0)
+        if session.monitor_buffer:
+            self.buffer_samples.setdefault(
+                session.id, TimeSeries(f"{self.name}.{session.id}.buffer"))
+        self.scheduler.register_session(session)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def set_buffer_limit(self, session_id: str, bits: float) -> None:
+        """Enforce a finite per-session buffer at this node."""
+        if bits <= 0:
+            raise SimulationError(
+                f"buffer limit must be positive, got {bits}")
+        self.buffer_limits[session_id] = float(bits)
+
+    def receive(self, packet: Packet) -> None:
+        """A packet's last bit arrived at this node."""
+        now = self.sim.now
+        packet.arrival_time = now
+        session_id = packet.session.id
+
+        limit = self.buffer_limits.get(session_id)
+        if (limit is not None
+                and self.buffer_bits.get(session_id, 0.0) + packet.length
+                > limit + 1e-9):
+            self.drops[session_id] = self.drops.get(session_id, 0) + 1
+            self.tracer.emit(now, "drop", node=self.name,
+                             session=session_id, packet=packet.seq)
+            return
+
+        occupancy = self.buffer_bits.get(session_id, 0.0) + packet.length
+        self.buffer_bits[session_id] = occupancy
+        if occupancy > self.buffer_peak.get(session_id, 0.0):
+            self.buffer_peak[session_id] = occupancy
+        samples = self.buffer_samples.get(session_id)
+        if samples is not None:
+            samples.record(now, occupancy)
+
+        self.tracer.emit(now, "arrival", node=self.name,
+                         session=session_id, packet=packet.seq)
+        self.scheduler.on_arrival(packet, now)
+        self._try_start()
+
+    def wakeup(self) -> None:
+        """A held packet became eligible; look for work."""
+        self._try_start()
+
+    def _try_start(self) -> None:
+        if self.transmitting is not None:
+            return
+        now = self.sim.now
+        packet = self.scheduler.next_packet(now)
+        if packet is None:
+            return
+        self.transmitting = packet
+        transmission = self.link.transmission_time(packet.length)
+        self.busy_time += transmission
+        self.tracer.emit(now, "tx_start", node=self.name,
+                         session=packet.session.id, packet=packet.seq,
+                         deadline=packet.deadline)
+        self.sim.schedule(transmission, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        now = self.sim.now
+        if self.transmitting is not packet:
+            raise SimulationError(
+                f"node {self.name}: transmission completion for a packet "
+                f"that is not on the link")
+        packet.finish_time = now
+        self.scheduler.on_transmit_complete(packet, now)
+
+        session_id = packet.session.id
+        self.buffer_bits[session_id] = (
+            self.buffer_bits.get(session_id, 0.0) - packet.length)
+        self.packets_served += 1
+        self.bits_served += packet.length
+        self.transmitting = None
+
+        self.tracer.emit(now, "tx_end", node=self.name,
+                         session=session_id, packet=packet.seq)
+        if self.network is None:
+            raise SimulationError(
+                f"node {self.name} is not attached to a network")
+        self.sim.schedule(self.link.propagation, self.network.deliver, packet)
+        self._try_start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of time the link has been busy since time zero."""
+        horizon = self.sim.now if now is None else now
+        return self.busy_time / horizon if horizon > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ServerNode {self.name} {self.link!r}>"

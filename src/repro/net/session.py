@@ -1,0 +1,122 @@
+"""Sessions: connection-oriented flows with reserved rates and routes.
+
+A session is the unit the paper reasons about: it reserves a rate
+``r_s`` at every server along its fixed route, declares a maximum packet
+length ``L_max,s``, and optionally requests delay-jitter control (which
+gives it a delay regulator at every node after the first).
+
+The per-node service parameter ``d_{i,s}^n`` is *not* part of the
+session's traffic characterization — it is assigned by admission
+control (see :mod:`repro.admission`) and stored here as one
+:class:`~repro.sched.policy.DelayPolicy` per node. When no policy is
+assigned, schedulers fall back to the VirtualClock value
+``d_{i,s} = L_{i,s} / r_s`` (admission control procedure 1 with one
+class and ``ε = 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.policy import DelayPolicy
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A flow with a reserved rate, a route, and service options.
+
+    Parameters
+    ----------
+    session_id:
+        Unique name, e.g. ``"onoff-aj-3"``.
+    rate:
+        Reserved rate ``r_s`` in bit/s; must be positive.
+    route:
+        Node names in traversal order (the paper's servers 1..N).
+    l_max:
+        Declared maximum packet length in bits (``L_max,s``). Sources
+        must not exceed it; schedulers may rely on it.
+    l_min:
+        Minimum packet length in bits, used only by the jitter bound
+        (δ term). Defaults to ``l_max`` (fixed-size packets, as in all
+        the paper's experiments).
+    jitter_control:
+        Whether the session uses delay regulators (non-work-conserving
+        holding) at nodes 2..N.
+    token_bucket:
+        Optional ``(r, b0)`` conformance declaration used by the
+        analytical bound helpers (paper eq. 14). Purely descriptive —
+        enforcement/shaping is a traffic-layer concern.
+    monitor_buffer:
+        When true, every node on the route samples this session's
+        per-node buffer occupancy at each packet arrival (the paper's
+        Figures 12-13 measurement).
+    """
+
+    def __init__(self, session_id: str, rate: float,
+                 route: Sequence[str], *, l_max: float,
+                 l_min: Optional[float] = None,
+                 jitter_control: bool = False,
+                 token_bucket: Optional[tuple] = None,
+                 monitor_buffer: bool = False) -> None:
+        if rate <= 0:
+            raise ConfigurationError(
+                f"session {session_id!r}: rate must be positive, got {rate}")
+        if not route:
+            raise ConfigurationError(
+                f"session {session_id!r}: route must name at least one node")
+        if len(set(route)) != len(route):
+            raise ConfigurationError(
+                f"session {session_id!r}: route visits a node twice: {route}")
+        if l_max <= 0:
+            raise ConfigurationError(
+                f"session {session_id!r}: l_max must be positive, got {l_max}")
+        resolved_l_min = l_max if l_min is None else l_min
+        if not 0 < resolved_l_min <= l_max:
+            raise ConfigurationError(
+                f"session {session_id!r}: need 0 < l_min <= l_max, got "
+                f"l_min={resolved_l_min}, l_max={l_max}")
+
+        self.id = session_id
+        self.rate = float(rate)
+        self.route = tuple(route)
+        self.l_max = float(l_max)
+        self.l_min = float(resolved_l_min)
+        self.jitter_control = bool(jitter_control)
+        self.token_bucket = token_bucket
+        self.monitor_buffer = bool(monitor_buffer)
+        #: Per-node delay policies assigned by admission control,
+        #: keyed by node name. Empty means VirtualClock defaults.
+        self.delay_policies: Dict[str, "DelayPolicy"] = {}
+        #: Number of packets injected so far (source bookkeeping).
+        self.packets_sent = 0
+
+    @property
+    def hops(self) -> int:
+        """Number of server nodes on the route (the paper's ``N``)."""
+        return len(self.route)
+
+    def node_at(self, hop_index: int) -> str:
+        return self.route[hop_index]
+
+    def is_last_hop(self, hop_index: int) -> bool:
+        return hop_index == len(self.route) - 1
+
+    def policy_for(self, node_name: str) -> Optional["DelayPolicy"]:
+        """The delay policy admission control assigned at ``node_name``."""
+        return self.delay_policies.get(node_name)
+
+    def set_policy(self, node_name: str, policy: "DelayPolicy") -> None:
+        if node_name not in self.route:
+            raise ConfigurationError(
+                f"session {self.id!r} does not traverse node {node_name!r}")
+        self.delay_policies[node_name] = policy
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        jitter = " jitter" if self.jitter_control else ""
+        return (f"<Session {self.id} r={self.rate:g}bps "
+                f"route={'-'.join(self.route)}{jitter}>")

@@ -1,0 +1,74 @@
+"""Traffic sinks: consume packets and record end-to-end measurements.
+
+A sink is attached per session at the exit point of its route. It
+records the paper's three end-to-end observables:
+
+* per-packet **delay** (last-bit arrival at the sink minus last-bit
+  arrival at the first server node),
+* the running **maximum delay** and **delay jitter** (max − min delay,
+  the paper's jitter definition from [22]),
+* the **delay distribution** as raw samples for CCDF estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.monitor import Tally, TimeSeries
+from repro.net.packet import Packet
+
+__all__ = ["Sink"]
+
+
+class Sink:
+    """Per-session packet sink with delay statistics."""
+
+    def __init__(self, session_id: str, *,
+                 keep_samples: bool = True,
+                 max_samples: Optional[int] = None,
+                 warmup: float = 0.0,
+                 keep_packets: bool = False) -> None:
+        self.session_id = session_id
+        #: Observations made before this time are discarded (transient
+        #: removal; 0 keeps everything, as the paper's short runs do).
+        self.warmup = warmup
+        self.delay = Tally(f"{session_id}.delay")
+        self.samples: Optional[TimeSeries] = (
+            TimeSeries(f"{session_id}.delay-series", max_samples)
+            if keep_samples else None)
+        #: Delivered packet objects, retained only when requested —
+        #: used by tests asserting per-packet scheduler state.
+        self.packets: Optional[list] = [] if keep_packets else None
+        self.received = 0
+        self.bits_received = 0.0
+
+    def receive(self, packet: Packet, now: float) -> None:
+        """Consume ``packet`` whose last bit arrived at time ``now``."""
+        self.received += 1
+        self.bits_received += packet.length
+        if self.packets is not None:
+            self.packets.append(packet)
+        if now < self.warmup:
+            return
+        delay = now - packet.entry_time
+        self.delay.observe(delay)
+        if self.samples is not None:
+            self.samples.record(packet.entry_time, delay)
+
+    @property
+    def max_delay(self) -> float:
+        """Largest observed end-to-end delay (0.0 before any packet)."""
+        return self.delay.maximum if self.delay.count else 0.0
+
+    @property
+    def min_delay(self) -> float:
+        return self.delay.minimum if self.delay.count else 0.0
+
+    @property
+    def jitter(self) -> float:
+        """Observed delay jitter: max delay − min delay (paper's J)."""
+        return self.delay.spread
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Sink {self.session_id} n={self.received} "
+                f"max={self.max_delay:.6f}s>")

@@ -1,0 +1,136 @@
+"""The paper's Figure-6 topology and its MIX / CROSS configurations.
+
+Five server nodes in tandem, T1 links (1536 kbit/s), 1 ms propagation.
+Traffic flows left to right; entrances ``a``-``e`` and exits ``f``-``j``
+as encoded in :mod:`repro.net.route`.
+
+Two canonical traffic configurations from Section 3:
+
+* **MIX** — 12 routes with the session counts below, which put exactly
+  48 sessions (and, at 32 kbit/s each, exactly the full T1 capacity of
+  1536 kbit/s) through every node. The paper's per-hop summary contains
+  a small arithmetic slip (it says 8 four-hop sessions where the listed
+  routes give 12); we follow the explicit per-route list, which is the
+  one consistent with full capacity commitment at every node.
+* **CROSS** — route ``a-j`` plus the five one-hop routes; the one-hop
+  routes carry the *cross traffic*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.net.network import Network
+from repro.net.route import route_from_letters
+from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS
+
+__all__ = [
+    "PaperTopology",
+    "build_paper_network",
+    "MIX_ROUTE_COUNTS",
+    "CROSS_ROUTES",
+    "PAPER_NODE_COUNT",
+]
+
+#: Number of tandem servers in Figure 6.
+PAPER_NODE_COUNT = 5
+
+#: The MIX traffic configuration: route label -> number of sessions.
+MIX_ROUTE_COUNTS: Dict[str, int] = {
+    "a-j": 10,
+    "b-g": 10,
+    "c-h": 10,
+    "d-i": 10,
+    "a-f": 16,
+    "e-j": 16,
+    "a-h": 8,
+    "c-j": 8,
+    "a-g": 8,
+    "d-j": 8,
+    "a-i": 6,
+    "b-j": 6,
+}
+
+#: The CROSS traffic configuration's routes: a-j plus one-hop routes.
+CROSS_ROUTES: List[str] = ["a-j", "a-f", "b-g", "c-h", "d-i", "e-j"]
+
+#: The one-hop routes of the CROSS configuration (the cross traffic).
+CROSS_ONE_HOP_ROUTES: List[str] = ["a-f", "b-g", "c-h", "d-i", "e-j"]
+
+
+class PaperTopology:
+    """Builder for the Figure-6 network.
+
+    Parameters
+    ----------
+    scheduler_factory:
+        Zero-argument callable returning a fresh scheduler for each
+        node (schedulers are per-node objects).
+    capacity / propagation:
+        Link parameters; default to the paper's T1 and 1 ms.
+    seed:
+        Master RNG seed for the network's random streams.
+    """
+
+    def __init__(self, scheduler_factory: Callable[[], object], *,
+                 capacity: float = T1_RATE_BPS,
+                 propagation: float = PAPER_PROPAGATION_S,
+                 node_count: int = PAPER_NODE_COUNT,
+                 seed: int = 0,
+                 l_max_network: Optional[float] = None) -> None:
+        self.scheduler_factory = scheduler_factory
+        self.capacity = capacity
+        self.propagation = propagation
+        self.node_count = node_count
+        self.seed = seed
+        self.l_max_network = l_max_network
+
+    def build(self) -> Network:
+        """Create the network with its tandem of server nodes."""
+        network = Network(seed=self.seed, l_max_network=self.l_max_network)
+        for index in range(1, self.node_count + 1):
+            network.add_node(f"n{index}", self.scheduler_factory(),
+                             capacity=self.capacity,
+                             propagation=self.propagation)
+        return network
+
+
+def build_paper_network(scheduler_factory: Callable[[], object], *,
+                        capacity: float = T1_RATE_BPS,
+                        propagation: float = PAPER_PROPAGATION_S,
+                        seed: int = 0,
+                        l_max_network: Optional[float] = None) -> Network:
+    """One-call construction of the Figure-6 network."""
+    return PaperTopology(scheduler_factory, capacity=capacity,
+                         propagation=propagation, seed=seed,
+                         l_max_network=l_max_network).build()
+
+
+def mix_session_specs() -> List[Dict[str, object]]:
+    """Expand MIX into per-session specs: route label, node list, index.
+
+    Returns a list of dicts with keys ``label``, ``route`` (node-name
+    list) and ``index`` (1-based within the route), in a deterministic
+    order so seeded experiments are reproducible.
+    """
+    specs: List[Dict[str, object]] = []
+    for label in sorted(MIX_ROUTE_COUNTS):
+        entrance, exit_ = label.split("-")
+        nodes = route_from_letters(entrance, exit_)
+        for index in range(1, MIX_ROUTE_COUNTS[label] + 1):
+            specs.append({"label": label, "route": nodes, "index": index})
+    return specs
+
+
+def sessions_per_node(route_counts: Dict[str, int]) -> Dict[str, int]:
+    """How many sessions traverse each node under ``route_counts``.
+
+    Used by admission tests and by the unit tests that check the MIX
+    configuration loads every node with exactly 48 sessions.
+    """
+    loads: Dict[str, int] = {}
+    for label, count in route_counts.items():
+        entrance, exit_ = label.split("-")
+        for node in route_from_letters(entrance, exit_):
+            loads[node] = loads.get(node, 0) + count
+    return loads

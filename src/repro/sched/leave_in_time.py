@@ -1,0 +1,197 @@
+"""The Leave-in-Time service discipline (the paper's core contribution).
+
+Final-version algorithm (paper §2):
+
+1. Each arriving packet gets an **eligibility time**
+
+   * ``E = t``                       without delay-jitter control (eq. 6)
+   * ``E = t + A``                   with delay-jitter control     (eq. 7)
+
+   where the holding time ``A`` was computed by the *upstream* node at
+   transmission completion and carried in the packet header (eq. 8-9):
+
+   * ``A = 0``                                            at node 1
+   * ``A = F' + L_MAX/C' − F̂' + d'_max − d'_i``           at node n > 1
+
+   (primes denote upstream-node quantities).
+
+2. Each packet gets a **transmission deadline** through the coupled
+   recursions (eq. 10-11):
+
+   * ``F_i = max(E_i, K_{i-1}) + d_i``
+   * ``K_i = max(E_i, K_{i-1}) + L_i / r_s``,   ``K_0 = t_1``
+
+   ``d_i`` comes from the session's per-node
+   :class:`~repro.sched.policy.DelayPolicy` (assigned by admission
+   control); the default ``d_i = L_i/r_s`` makes the discipline
+   identical to VirtualClock.
+
+3. Eligible packets from all sessions are served in increasing deadline
+   order (ties FIFO).
+
+The scheduler tracks its own saturation invariant: under correct
+admission control, ``F̂ < F + L_MAX/C`` for every packet, i.e. the
+observed lateness stays below one maximum packet transmission time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+from repro.net.session import Session
+from repro.sched.base import Scheduler
+from repro.sched.calendar_queue import DeadlineQueue, HeapDeadlineQueue
+from repro.sched.policy import DelayPolicy, virtual_clock_policy
+
+__all__ = ["LeaveInTime"]
+
+#: Tolerance for floating-point noise when validating non-negative
+#: holding times (the paper proves A >= 0 exactly).
+_HOLD_EPSILON = 1e-9
+
+
+class _SessionState:
+    """Per-session, per-node scheduler state."""
+
+    __slots__ = ("session", "policy", "k_prev", "initialized")
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self.policy: Optional[DelayPolicy] = None
+        self.k_prev = 0.0
+        self.initialized = False
+
+    def resolve_policy(self, node_name: str) -> DelayPolicy:
+        """Fetch the admission-assigned policy, defaulting to VirtualClock.
+
+        Resolution is deferred to the first packet so admission control
+        may run at any point before traffic starts.
+        """
+        if self.policy is None:
+            assigned = self.session.policy_for(node_name)
+            if assigned is None:
+                assigned = virtual_clock_policy(
+                    self.session.rate, self.session.l_max,
+                    self.session.l_min)
+            self.policy = assigned
+        return self.policy
+
+
+class LeaveInTime(Scheduler):
+    """Leave-in-Time scheduler for one server node.
+
+    Parameters
+    ----------
+    queue:
+        The deadline queue implementation; defaults to the exact heap.
+        Pass an :class:`~repro.sched.calendar_queue.ApproximateDeadlineQueue`
+        to reproduce the paper's O(1) approximate variant.
+    """
+
+    def __init__(self, queue: Optional[DeadlineQueue] = None) -> None:
+        super().__init__()
+        self._eligible: DeadlineQueue = queue or HeapDeadlineQueue()
+        self._sessions: Dict[str, _SessionState] = {}
+        self._held = 0
+
+    # ------------------------------------------------------------------
+    # Scheduler contract
+    # ------------------------------------------------------------------
+    def register_session(self, session: Session) -> None:
+        self._sessions.setdefault(session.id, _SessionState(session))
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        session = packet.session
+        state = self._sessions.get(session.id)
+        if state is None:
+            state = _SessionState(session)
+            self._sessions[session.id] = state
+        policy = state.resolve_policy(self.node.name)
+
+        # Eligibility time (eq. 6-8): the holding time in the header is
+        # zero at the first node and for sessions without jitter control.
+        if session.jitter_control and packet.hop_index > 0:
+            holding = packet.holding_time
+            if holding < -_HOLD_EPSILON:
+                raise SimulationError(
+                    f"negative holding time {holding} for "
+                    f"{session.id}#{packet.seq} at {self.node.name}")
+            eligible_at = now + max(0.0, holding)
+        else:
+            eligible_at = now
+        packet.eligible_time = eligible_at
+
+        # Deadline recursions (eq. 10-11) with K_0 = t_1.
+        if not state.initialized:
+            state.k_prev = now
+            state.initialized = True
+        base = eligible_at if eligible_at > state.k_prev else state.k_prev
+        packet.deadline = base + policy.d_of(packet.length)
+        state.k_prev = base + packet.length / session.rate
+
+        self.tracer.emit(now, "deadline", node=self.node.name,
+                         session=session.id, packet=packet.seq,
+                         eligible=eligible_at, deadline=packet.deadline,
+                         k=state.k_prev)
+
+        if eligible_at <= now:
+            self._eligible.push(packet)
+        else:
+            self._held += 1
+            self.sim.schedule_at(eligible_at, self._release, packet)
+
+    def _release(self, packet: Packet) -> None:
+        """A delay regulator hold expired; queue the packet for service."""
+        self._held -= 1
+        self._eligible.push(packet)
+        self.tracer.emit(self.sim.now, "eligible", node=self.node.name,
+                         session=packet.session.id, packet=packet.seq)
+        self._wake_node()
+
+    def next_packet(self, now: float) -> Optional[Packet]:
+        return self._eligible.pop()
+
+    def on_transmit_complete(self, packet: Packet, now: float) -> None:
+        super().on_transmit_complete(packet, now)
+        session = packet.session
+        if session.is_last_hop(packet.hop_index):
+            packet.holding_time = 0.0
+            return
+        if not session.jitter_control:
+            packet.holding_time = 0.0
+            return
+        # Holding time for the next node (eq. 9). All quantities are
+        # this node's: F (deadline), F̂ (actual finish = now), d_max and
+        # d_i from the session's policy here, L_MAX network-wide, C of
+        # this node's outgoing link.
+        policy = self._sessions[session.id].resolve_policy(self.node.name)
+        l_max_network = self.node.network.l_max
+        holding = (packet.deadline + l_max_network / self.capacity - now
+                   + policy.d_max - policy.d_of(packet.length))
+        if holding < -_HOLD_EPSILON:
+            raise SimulationError(
+                f"holding-time computation went negative ({holding}) for "
+                f"{session.id}#{packet.seq} at {self.node.name}; "
+                "this indicates scheduler saturation")
+        packet.holding_time = max(0.0, holding)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        return len(self._eligible) + self._held
+
+    @property
+    def held(self) -> int:
+        """Packets currently inside delay regulators."""
+        return self._held
+
+    def forget_session(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def session_state(self, session_id: str) -> _SessionState:
+        """Expose per-session state for tests and diagnostics."""
+        return self._sessions[session_id]

@@ -1,0 +1,41 @@
+"""Traffic sources and traffic-envelope utilities.
+
+The three source models of the paper's Section 3 — ON-OFF (two-state
+Markov-modulated), Poisson, and Deterministic — plus a trace-replay
+source for tests, and token-bucket / (r,T)-smoothness utilities used by
+the analytical bounds and the Stop-and-Go admission comparison.
+"""
+
+from repro.traffic.base import TrafficSource
+from repro.traffic.deterministic import DeterministicSource
+from repro.traffic.lengths import (
+    BimodalLength,
+    ChoiceLength,
+    FixedLength,
+    UniformLength,
+)
+from repro.traffic.onoff import OnOffSource
+from repro.traffic.poisson import PoissonSource
+from repro.traffic.token_bucket import (
+    TokenBucket,
+    is_conformant,
+    is_rt_smooth,
+    shape_arrivals,
+)
+from repro.traffic.trace_source import TraceSource
+
+__all__ = [
+    "TrafficSource",
+    "OnOffSource",
+    "PoissonSource",
+    "DeterministicSource",
+    "TraceSource",
+    "TokenBucket",
+    "is_conformant",
+    "is_rt_smooth",
+    "shape_arrivals",
+    "FixedLength",
+    "UniformLength",
+    "ChoiceLength",
+    "BimodalLength",
+]

@@ -1,0 +1,92 @@
+"""Packet-length samplers for variable-size traffic.
+
+Every experiment in the paper uses fixed 424-bit cells, but the
+discipline itself is defined for variable lengths — and two pieces of
+its machinery only come alive with them:
+
+* the holding-time term ``d_max − d_i`` (eq. 9), which cancels exactly
+  for fixed sizes, and
+* the α constant and the ``L_min/C`` part of δ (eq. 17), which reduce
+  to trivia when ``L_min = L_max``.
+
+These samplers plug into any :class:`~repro.traffic.base.TrafficSource`
+via its ``length_sampler`` argument so the variable-length code paths
+can be exercised and tested.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FixedLength", "UniformLength", "ChoiceLength", "BimodalLength"]
+
+
+class FixedLength:
+    """Every packet has the same length (the paper's setting)."""
+
+    def __init__(self, length: float) -> None:
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive: {length}")
+        self.length = float(length)
+        self.l_min = self.length
+        self.l_max = self.length
+
+    def sample(self) -> float:
+        return self.length
+
+
+class UniformLength:
+    """Lengths uniform on [l_min, l_max]."""
+
+    def __init__(self, rng: random.Random, l_min: float,
+                 l_max: float) -> None:
+        if not 0 < l_min <= l_max:
+            raise ConfigurationError(
+                f"need 0 < l_min <= l_max, got {l_min}, {l_max}")
+        self._rng = rng
+        self.l_min = float(l_min)
+        self.l_max = float(l_max)
+
+    def sample(self) -> float:
+        return self._rng.uniform(self.l_min, self.l_max)
+
+
+class ChoiceLength:
+    """Lengths drawn uniformly from a finite set (e.g. header/data)."""
+
+    def __init__(self, rng: random.Random,
+                 choices: Sequence[float]) -> None:
+        if not choices or any(c <= 0 for c in choices):
+            raise ConfigurationError(
+                "choices must be a non-empty sequence of positive lengths")
+        self._rng = rng
+        self.choices = [float(c) for c in choices]
+        self.l_min = min(self.choices)
+        self.l_max = max(self.choices)
+
+    def sample(self) -> float:
+        return self._rng.choice(self.choices)
+
+
+class BimodalLength(ChoiceLength):
+    """The classic internet mix: mostly small packets, some large.
+
+    ``p_large`` is the probability of a maximum-length packet.
+    """
+
+    def __init__(self, rng: random.Random, small: float, large: float,
+                 p_large: float = 0.3) -> None:
+        super().__init__(rng, [small, large])
+        if not 0.0 <= p_large <= 1.0:
+            raise ConfigurationError(
+                f"p_large must be a probability, got {p_large}")
+        self.small = float(small)
+        self.large = float(large)
+        self.p_large = p_large
+
+    def sample(self) -> float:
+        return (self.large if self._rng.random() < self.p_large
+                else self.small)

@@ -1,0 +1,80 @@
+"""Unit helpers and paper constants.
+
+All internal quantities in this library use SI base combinations:
+
+* time in **seconds**,
+* data length in **bits**,
+* data rate in **bits per second**.
+
+The paper's figures speak in milliseconds, kilobits, and kilobits per
+second; the helpers here let experiment configurations read like the
+paper while the simulation arithmetic stays in one unit system.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ms",
+    "us",
+    "seconds",
+    "kbit",
+    "Mbit",
+    "kbps",
+    "Mbps",
+    "to_ms",
+    "ATM_PACKET_BITS",
+    "T1_RATE_BPS",
+    "PAPER_PROPAGATION_S",
+]
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def seconds(value: float) -> float:
+    """Identity helper so configs can be explicit about units."""
+    return float(value)
+
+
+def kbit(value: float) -> float:
+    """Convert kilobits to bits (1 kbit = 1000 bits, as in the paper)."""
+    return value * 1e3
+
+
+def Mbit(value: float) -> float:
+    """Convert megabits to bits (1 Mbit = 10^6 bits)."""
+    return value * 1e6
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def Mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def to_ms(value_seconds: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return value_seconds * 1e3
+
+
+#: Packet length used by every traffic source in the paper's simulations:
+#: "All traffic sources in our simulations have packet length of 424 bits,
+#: the length of an ATM packet."
+ATM_PACKET_BITS = 424
+
+#: Link capacity of the paper's Figure-6 topology (T1): 1536 kbit/s.
+T1_RATE_BPS = 1_536_000.0
+
+#: Link propagation delay in the paper's topology: 1 ms (~200 km of fiber).
+PAPER_PROPAGATION_S = 1e-3

@@ -1,0 +1,48 @@
+"""Unit tests for delay-class validation."""
+
+import pytest
+
+from repro.admission.classes import DelayClass, validate_classes
+from repro.errors import ConfigurationError
+from repro.units import Mbps, ms
+
+
+def test_valid_nested_classes():
+    classes = [DelayClass(Mbps(10), ms(0.2)),
+               DelayClass(Mbps(40), ms(1.6)),
+               DelayClass(Mbps(100), ms(4))]
+    assert validate_classes(classes, Mbps(100)) == classes
+
+
+def test_single_class_spanning_link():
+    assert validate_classes([DelayClass(1000.0, 0.0)], 1000.0)
+
+
+def test_rejects_decreasing_rates():
+    classes = [DelayClass(Mbps(40), ms(1)), DelayClass(Mbps(10), ms(2))]
+    with pytest.raises(ConfigurationError):
+        validate_classes(classes, Mbps(10))
+
+
+def test_rejects_decreasing_base_delays():
+    classes = [DelayClass(Mbps(10), ms(2)), DelayClass(Mbps(40), ms(1))]
+    with pytest.raises(ConfigurationError):
+        validate_classes(classes, Mbps(40))
+
+
+def test_last_class_must_span_link():
+    classes = [DelayClass(Mbps(10), ms(1)), DelayClass(Mbps(40), ms(2))]
+    with pytest.raises(ConfigurationError):
+        validate_classes(classes, Mbps(100))
+
+
+def test_rejects_empty_menu():
+    with pytest.raises(ConfigurationError):
+        validate_classes([], 1000.0)
+
+
+def test_rejects_bad_class_values():
+    with pytest.raises(ConfigurationError):
+        DelayClass(0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        DelayClass(1.0, -1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for batch-means confidence intervals."""
+
+import random
+
+import pytest
+
+from repro.analysis.confidence import batch_means
+from repro.errors import ConfigurationError
+
+
+def test_constant_samples_zero_width():
+    interval = batch_means([5.0] * 100, batches=10)
+    assert interval.mean == 5.0
+    assert interval.half_width == 0.0
+    assert interval.contains(5.0)
+    assert not interval.contains(5.1)
+
+
+def test_iid_normal_coverage():
+    # 95% intervals over repeated experiments should cover the true
+    # mean roughly 95% of the time; check a loose lower bound.
+    rng = random.Random(11)
+    covered = 0
+    trials = 200
+    for _ in range(trials):
+        samples = [rng.gauss(10.0, 2.0) for _ in range(400)]
+        if batch_means(samples, batches=20).contains(10.0):
+            covered += 1
+    assert covered / trials > 0.85
+
+
+def test_wider_at_higher_level():
+    rng = random.Random(3)
+    samples = [rng.random() for _ in range(400)]
+    narrow = batch_means(samples, batches=20, level=0.90)
+    wide = batch_means(samples, batches=20, level=0.99)
+    assert wide.half_width > narrow.half_width
+    assert wide.mean == narrow.mean
+
+
+def test_leftover_samples_discarded():
+    interval = batch_means(list(range(105)), batches=10)
+    assert interval.batch_size == 10
+    # Only the first 100 samples are used: mean of 0..99 = 49.5.
+    assert interval.mean == pytest.approx(49.5)
+
+
+def test_relative_half_width():
+    interval = batch_means([2.0, 2.0, 4.0, 4.0], batches=2)
+    assert interval.mean == 3.0
+    assert interval.relative_half_width == pytest.approx(
+        interval.half_width / 3.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        batch_means([1.0] * 10, batches=1)
+    with pytest.raises(ConfigurationError):
+        batch_means([1.0], batches=5)
+    with pytest.raises(ConfigurationError):
+        batch_means([1.0] * 10, batches=2, level=1.5)

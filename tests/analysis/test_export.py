@@ -1,0 +1,73 @@
+"""Unit tests for CSV export."""
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.export import (
+    write_ccdf_csv,
+    write_rows_csv,
+    write_series_csv,
+)
+from repro.errors import ConfigurationError
+
+
+def read_back(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_write_series(tmp_path):
+    target = write_series_csv(tmp_path / "s.csv",
+                              {"x": [1, 2], "y": [3.0, 4.0]})
+    rows = read_back(target)
+    assert rows[0] == ["x", "y"]
+    assert rows[1] == ["1", "3.0"]
+    assert len(rows) == 3
+
+
+def test_series_length_mismatch_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        write_series_csv(tmp_path / "s.csv", {"x": [1], "y": [1, 2]})
+
+
+def test_series_empty_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        write_series_csv(tmp_path / "s.csv", {})
+
+
+def test_write_dataclass_rows(tmp_path):
+    @dataclass
+    class Row:
+        hops: int
+        bound_ms: float
+
+    target = write_rows_csv(tmp_path / "r.csv",
+                            [Row(1, 14.5), Row(2, 29.1)])
+    rows = read_back(target)
+    assert rows[0] == ["hops", "bound_ms"]
+    assert rows[2] == ["2", "29.1"]
+
+
+def test_rows_must_be_dataclasses(tmp_path):
+    with pytest.raises(ConfigurationError):
+        write_rows_csv(tmp_path / "r.csv", [{"a": 1}])
+
+
+def test_rows_empty_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        write_rows_csv(tmp_path / "r.csv", [])
+
+
+def test_write_ccdf(tmp_path):
+    target = write_ccdf_csv(tmp_path / "c.csv", [0.0, 1.0],
+                            [1.0, 0.5], analytical=[1.0, 0.9])
+    rows = read_back(target)
+    assert rows[0] == ["delay_ms", "measured_ccdf", "analytical_bound"]
+    assert len(rows) == 3
+
+
+def test_ccdf_optional_columns(tmp_path):
+    target = write_ccdf_csv(tmp_path / "c.csv", [0.0], [1.0])
+    assert read_back(target)[0] == ["delay_ms", "measured_ccdf"]

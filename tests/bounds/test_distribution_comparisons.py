@@ -1,0 +1,98 @@
+"""Tests for the eq.-16 shift and the Section-4 comparison arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.comparisons import (
+    compare_with_stop_and_go,
+    pgps_delay_bound,
+)
+from repro.bounds.distribution import shifted_ccdf, shifted_ccdf_function
+from repro.errors import ConfigurationError
+from repro.units import T1_RATE_BPS, kbps
+
+
+class TestShiftedCcdf:
+    @staticmethod
+    def reference(d):
+        # A simple exponential-tail reference CCDF.
+        return float(np.exp(-d)) if d >= 0 else 1.0
+
+    def test_shift_moves_curve_right(self):
+        bound = shifted_ccdf(self.reference, 2.0, [0.0, 1.0, 3.0])
+        assert bound[0] == 1.0               # below the shift
+        assert bound[1] == 1.0
+        assert bound[2] == pytest.approx(np.exp(-1.0))
+
+    def test_zero_shift_is_identity(self):
+        delays = [0.5, 1.0, 2.0]
+        bound = shifted_ccdf(self.reference, 0.0, delays)
+        assert bound == pytest.approx([self.reference(d) for d in delays])
+
+    def test_clamped_to_probability(self):
+        bound = shifted_ccdf(lambda d: 1.5, 0.0, [1.0])
+        assert bound[0] == 1.0
+
+    def test_function_form_matches(self):
+        f = shifted_ccdf_function(self.reference, 2.0)
+        grid = [0.0, 1.9, 2.0, 4.0]
+        assert [f(d) for d in grid] == pytest.approx(
+            list(shifted_ccdf(self.reference, 2.0, grid)))
+
+
+class TestPgpsBound:
+    def test_paper_equality_with_lit(self):
+        # The eq. 15 cross-check is done numerically in
+        # tests/bounds/test_delay_bounds.py and the section4
+        # experiment; here: structure of the PGPS formula itself.
+        bound = pgps_delay_bound(424.0, kbps(32), 424.0, 424.0,
+                                 [T1_RATE_BPS] * 5, [1e-3] * 5)
+        expected = (424.0 / 32_000.0 + 4 * 424.0 / 32_000.0
+                    + 5 * 424.0 / T1_RATE_BPS + 5e-3)
+        assert bound == pytest.approx(expected)
+
+    def test_single_hop_has_no_lmax_over_r_term(self):
+        bound = pgps_delay_bound(1000.0, 100.0, 100.0, 100.0, [1000.0])
+        assert bound == pytest.approx(1000.0 / 100.0 + 0.1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            pgps_delay_bound(1.0, 0.0, 1.0, 1.0, [1.0])
+        with pytest.raises(ConfigurationError):
+            pgps_delay_bound(1.0, 1.0, 1.0, 1.0, [])
+        with pytest.raises(ConfigurationError):
+            pgps_delay_bound(1.0, 1.0, 1.0, 1.0, [1.0], [1.0, 2.0])
+
+
+class TestStopAndGoComparison:
+    def test_paper_worked_example_per_link(self):
+        # Per-link increase: alpha*T (up to 2T) for S&G versus
+        # L_MAX/C + 0.1T for Leave-in-Time.
+        comparison = compare_with_stop_and_go(capacity=1e8, frame=0.01,
+                                              hops=5)
+        assert comparison.sg_per_link == pytest.approx(0.02)
+        # L = 0.01*T*C -> L/C = 0.0001; + 0.1T = 0.001.
+        assert comparison.lit_per_link == pytest.approx(0.0011)
+        assert comparison.lit_per_link < comparison.sg_per_link
+
+    def test_delay_gap_grows_with_hops(self):
+        gaps = []
+        for hops in (1, 5, 10):
+            c = compare_with_stop_and_go(capacity=1e8, frame=0.01,
+                                         hops=hops)
+            gaps.append(c.sg_delay_worst - c.lit_delay)
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_jitter_bounds_competitive(self):
+        # J_LiT = T + (delta - d_max) = T here (fixed-size packets):
+        # half of S&G's 2T.
+        c = compare_with_stop_and_go(capacity=1e8, frame=0.01, hops=5)
+        assert c.sg_jitter == pytest.approx(0.02)
+        assert c.lit_jitter == pytest.approx(0.01)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            compare_with_stop_and_go(capacity=1e8, frame=0.01, hops=0)
+        with pytest.raises(ConfigurationError):
+            compare_with_stop_and_go(capacity=1e8, frame=0.01, hops=1,
+                                     rate_fraction=1.5)

@@ -1,0 +1,100 @@
+"""Unit tests for the jitter (eq. 17) and buffer bounds."""
+
+import pytest
+
+from repro.bounds.buffer import buffer_bound, buffer_bounds_along_route
+from repro.bounds.jitter import delta_max, jitter_bound
+from repro.errors import ConfigurationError
+from repro.units import T1_RATE_BPS
+
+D_MAX = 424.0 / 32_000.0  # 13.25 ms
+
+
+class TestDeltaMax:
+    def test_fixed_size_packets_cancel_lc_terms(self):
+        # L_MAX = L_min: delta = d_max exactly.
+        assert delta_max(424.0, T1_RATE_BPS, D_MAX, 424.0) == \
+            pytest.approx(D_MAX)
+
+    def test_small_packets_increase_delta(self):
+        small = delta_max(424.0, T1_RATE_BPS, D_MAX, 100.0)
+        assert small > D_MAX
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            delta_max(424.0, 0.0, D_MAX, 424.0)
+
+
+class TestJitterBound:
+    def test_paper_values(self):
+        capacities = [T1_RATE_BPS] * 5
+        d_maxes = [D_MAX] * 5
+        no_control = jitter_bound(D_MAX, 424.0, capacities, d_maxes,
+                                  424.0, 0.0, jitter_control=False)
+        control = jitter_bound(D_MAX, 424.0, capacities, d_maxes,
+                               424.0, 0.0, jitter_control=True)
+        assert no_control * 1e3 == pytest.approx(66.25)
+        assert control * 1e3 == pytest.approx(13.25)
+
+    def test_uncontrolled_grows_with_hops_controlled_does_not(self):
+        def bounds(n, control):
+            return jitter_bound(D_MAX, 424.0, [T1_RATE_BPS] * n,
+                                [D_MAX] * n, 424.0, 0.0,
+                                jitter_control=control)
+        uncontrolled = [bounds(n, False) for n in (1, 3, 5)]
+        controlled = [bounds(n, True) for n in (1, 3, 5)]
+        assert uncontrolled[0] < uncontrolled[1] < uncontrolled[2]
+        assert controlled[0] == controlled[1] == controlled[2]
+
+    def test_one_hop_bounds_coincide(self):
+        args = (D_MAX, 424.0, [T1_RATE_BPS], [D_MAX], 424.0, 0.0)
+        assert jitter_bound(*args, jitter_control=False) == \
+            jitter_bound(*args, jitter_control=True)
+
+    def test_alpha_adds(self):
+        base = jitter_bound(D_MAX, 424.0, [T1_RATE_BPS], [D_MAX],
+                            424.0, 0.0, jitter_control=False)
+        shifted = jitter_bound(D_MAX, 424.0, [T1_RATE_BPS], [D_MAX],
+                               424.0, 0.005, jitter_control=False)
+        assert shifted - base == pytest.approx(0.005)
+
+    def test_rejects_empty_route(self):
+        with pytest.raises(ConfigurationError):
+            jitter_bound(D_MAX, 424.0, [], [], 424.0, 0.0,
+                         jitter_control=False)
+
+
+class TestBufferBound:
+    def test_single_node_formula(self):
+        # r*(D_ref + 0 + L_MAX/C + d_max).
+        value = buffer_bound(32_000.0, D_MAX, 0.0, 424.0, T1_RATE_BPS,
+                             D_MAX)
+        expected = 32_000.0 * (D_MAX + 424.0 / T1_RATE_BPS + D_MAX)
+        assert value == pytest.approx(expected)
+
+    def test_route_shapes_match_paper(self):
+        common = dict(rate=32_000.0, d_ref_max=D_MAX,
+                      l_max_network=424.0,
+                      capacities=[T1_RATE_BPS] * 5,
+                      d_maxes=[D_MAX] * 5, l_min_session=424.0)
+        uncontrolled = buffer_bounds_along_route(
+            **common, jitter_control=False)
+        controlled = buffer_bounds_along_route(
+            **common, jitter_control=True)
+        # Uncontrolled: one packet more per hop. Controlled: flat
+        # after the second node.
+        diffs = [b - a for a, b in zip(uncontrolled, uncontrolled[1:])]
+        assert diffs == pytest.approx([424.0] * 4, abs=1e-6)
+        assert controlled[1] == pytest.approx(controlled[2])
+        assert controlled[2] == pytest.approx(controlled[4])
+        # First node identical in both modes.
+        assert uncontrolled[0] == pytest.approx(controlled[0])
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            buffer_bound(0.0, D_MAX, 0.0, 424.0, T1_RATE_BPS, D_MAX)
+
+    def test_rejects_empty_route(self):
+        with pytest.raises(ConfigurationError):
+            buffer_bounds_along_route(1.0, D_MAX, 424.0, [], [], 424.0,
+                                      jitter_control=False)

@@ -1,0 +1,110 @@
+"""Tests for the Crommelin M/D/1 waiting-time distribution.
+
+Validated against three independent references: the exact atom
+P(W = 0) = 1 − ρ, the Pollaczek-Khinchine mean, and a Lindley-recursion
+simulation of the same queue.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.bounds.md1 import (
+    md1_delay_ccdf,
+    md1_delay_ccdf_function,
+    md1_mean_wait,
+    md1_wait_ccdf,
+    md1_wait_cdf,
+)
+from repro.errors import ConfigurationError
+
+#: The Figure-9 reference-server parameters: lambda = 1/1.5143 ms,
+#: D = 424/400000 s, rho = 0.7.
+LAM = 1.0 / 1.5143e-3
+D = 424.0 / 400_000.0
+
+
+class TestIdentities:
+    def test_atom_at_zero(self):
+        assert md1_wait_cdf(0.0, LAM, D) == pytest.approx(1 - LAM * D,
+                                                          abs=1e-12)
+
+    def test_negative_time_is_zero(self):
+        assert md1_wait_cdf(-1.0, LAM, D) == 0.0
+
+    def test_monotone_nondecreasing(self):
+        values = [md1_wait_cdf(t, LAM, D)
+                  for t in [i * 5e-4 for i in range(60)]]
+        assert all(b >= a - 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_bounded_in_unit_interval(self):
+        for t in (0.0, 1e-3, 1e-2, 0.1, 0.5):
+            value = md1_wait_cdf(t, LAM, D)
+            assert 0.0 <= value <= 1.0
+
+    def test_mean_matches_pollaczek_khinchine(self):
+        # Integrate the CCDF numerically.
+        grid = [i * 2.5e-4 for i in range(400)]
+        ccdf = [md1_wait_ccdf(t, LAM, D) for t in grid]
+        integral = sum((a + b) / 2 * 2.5e-4
+                       for a, b in zip(ccdf, ccdf[1:]))
+        assert integral == pytest.approx(md1_mean_wait(LAM, D),
+                                         rel=0.01)
+
+    def test_pk_formula(self):
+        rho = LAM * D
+        assert md1_mean_wait(LAM, D) == pytest.approx(
+            rho * D / (2 * (1 - rho)))
+
+    def test_low_utilization_tail_is_tiny(self):
+        assert md1_wait_ccdf(0.05, 10.0, 0.001) < 1e-10
+
+
+class TestAgainstLindleySimulation:
+    def test_cdf_matches_simulation(self):
+        rng = random.Random(7)
+        wait = 0.0
+        waits = []
+        for _ in range(120_000):
+            gap = -math.log(rng.random()) / LAM
+            wait = max(0.0, wait + D - gap)
+            waits.append(wait)
+        waits.sort()
+        import bisect
+        for t in (0.0, 1e-3, 2e-3, 5e-3, 1e-2):
+            empirical = bisect.bisect_right(waits, t) / len(waits)
+            formula = md1_wait_cdf(t, LAM, D)
+            assert formula == pytest.approx(empirical, abs=0.01)
+
+
+class TestDelayForm:
+    def test_delay_is_wait_shifted_by_service(self):
+        for t in (1e-3, 5e-3, 2e-2):
+            assert md1_delay_ccdf(t, LAM, D) == pytest.approx(
+                md1_wait_ccdf(t - D, LAM, D))
+
+    def test_delay_below_service_time_is_certain(self):
+        assert md1_delay_ccdf(D / 2, LAM, D) == pytest.approx(1.0)
+
+    def test_function_form(self):
+        ccdf = md1_delay_ccdf_function(LAM, D)
+        assert ccdf(0.01) == pytest.approx(md1_delay_ccdf(0.01, LAM, D))
+
+
+class TestValidation:
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ConfigurationError):
+            md1_wait_cdf(0.0, 1000.0, 0.001)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            md1_wait_cdf(0.0, 0.0, 0.001)
+        with pytest.raises(ConfigurationError):
+            md1_wait_cdf(0.0, 1.0, 0.0)
+
+    def test_deep_tail_is_finite_and_positive(self):
+        # The dynamic-precision regime: t/D ~ 140 (the cancellation
+        # zone that breaks double precision).
+        value = md1_wait_ccdf(0.15, LAM, D)
+        assert 0.0 <= value < 1e-12

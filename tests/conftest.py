@@ -1,0 +1,62 @@
+"""Shared test fixtures and builders.
+
+Most scheduler tests want a tiny deterministic network: one or a few
+nodes, explicit packet traces, and full tracing enabled. The helpers
+here keep those tests declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.session import Session
+from repro.sim.trace import Tracer
+from repro.traffic.trace_source import TraceSource
+
+
+def make_network(scheduler_factory: Callable[[], object], *,
+                 nodes: int = 1, capacity: float = 1000.0,
+                 propagation: float = 0.0,
+                 l_max_network: Optional[float] = None,
+                 trace: bool = False, seed: int = 0) -> Network:
+    """A tandem of ``nodes`` identical nodes named n1..nN."""
+    network = Network(seed=seed, tracer=Tracer(trace),
+                      l_max_network=l_max_network)
+    for index in range(1, nodes + 1):
+        network.add_node(f"n{index}", scheduler_factory(),
+                         capacity=capacity, propagation=propagation)
+    return network
+
+
+def add_trace_session(network: Network, session_id: str, *,
+                      rate: float, times: Sequence[float],
+                      lengths, route: Optional[List[str]] = None,
+                      l_max: Optional[float] = None,
+                      jitter_control: bool = False,
+                      token_bucket=None):
+    """A session fed by an explicit (times, lengths) trace.
+
+    Returns ``(session, sink, source)``; the sink keeps packet objects
+    so tests can inspect deadlines and holding times.
+    """
+    if route is None:
+        route = sorted(network.nodes)
+    if l_max is None:
+        if isinstance(lengths, (int, float)):
+            l_max = float(lengths)
+        else:
+            l_max = float(max(lengths))
+    session = Session(session_id, rate=rate, route=route, l_max=l_max,
+                      jitter_control=jitter_control,
+                      token_bucket=token_bucket)
+    sink = network.add_session(session, keep_packets=True)
+    source = TraceSource(network, session, times=times, lengths=lengths)
+    return session, sink, source
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_known_experiments():
+    parser = build_parser()
+    args = parser.parse_args(["figure07", "--duration", "5",
+                              "--seed", "3"])
+    assert args.experiment == "figure07"
+    assert args.duration == 5.0
+    assert args.seed == 3
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure99"])
+
+
+def test_analytic_experiment_runs(capsys):
+    assert main(["section4"]) == 0
+    out = capsys.readouterr().out
+    assert "Stop-and-Go" in out
+    assert "PGPS" in out
+
+
+def test_simulated_experiment_runs_with_duration(capsys):
+    assert main(["figure08", "--duration", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+    assert "onoff-jc" in out
+
+
+def test_full_flag_selects_paper_duration(monkeypatch, capsys):
+    captured = {}
+
+    def fake_run(duration=None, seed=0):
+        captured["duration"] = duration
+
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "figure07", (fake_run, 300.0))
+    assert main(["figure07", "--full"]) == 0
+    assert captured["duration"] == 300.0
+
+
+def test_default_duration_uses_runner_default(monkeypatch):
+    captured = {}
+
+    def fake_run(duration=None, seed=0, **kw):
+        captured["called_with_duration"] = "duration" in kw or duration
+
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "firewall", (fake_run, 60.0))
+    assert main(["firewall"]) == 0

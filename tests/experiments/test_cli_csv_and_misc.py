@@ -1,0 +1,70 @@
+"""CLI --csv flag and assorted experiment edge cases."""
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliCsv:
+    def test_csv_flag_writes_file(self, tmp_path, capsys):
+        assert main(["figure09", "--duration", "1",
+                     "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        target = tmp_path / "figure09.csv"
+        assert target.exists()
+        assert "csv written" in out
+        with open(target, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "delay_ms"
+
+    def test_csv_flag_creates_directory(self, tmp_path, capsys):
+        nested = tmp_path / "a" / "b"
+        assert main(["figure07", "--duration", "1",
+                     "--csv", str(nested)]) == 0
+        assert (nested / "figure07.csv").exists()
+
+    def test_csv_flag_skips_experiments_without_export(self, tmp_path,
+                                                       capsys):
+        # firewall has no to_csv; the flag must not break it.
+        assert main(["firewall", "--duration", "1",
+                     "--csv", str(tmp_path)]) == 0
+        assert not (tmp_path / "firewall.csv").exists()
+
+    def test_analytic_experiment_ignores_csv(self, tmp_path, capsys):
+        assert main(["section4", "--csv", str(tmp_path)]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDistributionResultEdges:
+    def test_sound_against_detects_violations(self):
+        import numpy as np
+
+        from repro.experiments import figure09
+        result = figure09.run(duration=1.0, seed=9)
+        # A fabricated bound below the measured curve must fail.
+        too_low = np.zeros_like(result.measured)
+        assert not result.sound_against(too_low)
+        assert result.sound_against(np.ones_like(result.measured))
+
+    def test_tail_delay_monotone_in_probability(self):
+        from repro.experiments import figure09
+        result = figure09.run(duration=2.0, seed=9)
+        assert result.tail_delay_ms(0.01) >= result.tail_delay_ms(0.1)
+
+
+class TestBenchDurationEnv:
+    def test_env_override(self, monkeypatch):
+        import importlib.util
+        import pathlib
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest",
+            pathlib.Path("benchmarks/conftest.py").resolve())
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.delenv("REPRO_BENCH_DURATION", raising=False)
+        assert module.bench_duration(12.0) == 12.0
+        monkeypatch.setenv("REPRO_BENCH_DURATION", "77")
+        assert module.bench_duration(12.0) == 77.0

@@ -1,0 +1,36 @@
+"""Tests for the M/D/1 substrate-validation experiment."""
+
+import pytest
+
+from repro.experiments import md1_validation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return md1_validation.run(duration=40.0, seed=2,
+                              utilizations=(0.3, 0.7))
+
+
+def test_means_statistically_consistent(result):
+    assert result.all_consistent()
+
+
+def test_ccdf_close_to_crommelin(result):
+    for point in result.points:
+        assert point.ccdf_max_error < 0.02
+
+
+def test_mean_grows_with_utilization(result):
+    means = [p.measured_mean_ms for p in result.points]
+    assert means[0] < means[1]
+
+
+def test_packet_counts_scale_with_load(result):
+    packets = {p.utilization: p.packets for p in result.points}
+    assert packets[0.7] > 2 * packets[0.3] * 0.8
+
+
+def test_table_renders(result):
+    text = result.table()
+    assert "P-K theory" in text
+    assert "consistent" in text

@@ -1,0 +1,40 @@
+"""Tests for the regulator-comparison experiment."""
+
+import pytest
+
+from repro.experiments import regulator_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return regulator_comparison.run(duration=10.0, seed=2)
+
+
+def test_four_outcomes(result):
+    assert len(result.outcomes) == 4
+
+
+def test_lit_holds_under_both_cross_kinds(result):
+    assert result.outcome("leave-in-time",
+                          "conformant").jitter_bound_holds
+    assert result.outcome("leave-in-time",
+                          "unpoliced").jitter_bound_holds
+
+
+def test_jitter_edd_needs_conformant_cross(result):
+    assert result.outcome("jitter-edd",
+                          "conformant").jitter_bound_holds
+    assert not result.outcome("jitter-edd",
+                              "unpoliced").jitter_bound_holds
+
+
+def test_unpoliced_cross_raises_edd_jitter_dramatically(result):
+    conformant = result.outcome("jitter-edd", "conformant").jitter_ms
+    unpoliced = result.outcome("jitter-edd", "unpoliced").jitter_ms
+    assert unpoliced > 5 * max(conformant, 1.0)
+
+
+def test_table_renders(result):
+    text = result.table()
+    assert "NO" in text  # the broken EDD bound is flagged
+    assert "leave-in-time" in text

@@ -1,0 +1,35 @@
+"""Tests for the saturation-sweep experiment."""
+
+import pytest
+
+from repro.experiments import saturation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return saturation.run(duration=8.0, seed=1,
+                          d_values_ms=(13.25, 1.0))
+
+
+def test_feasibility_labels(result):
+    labels = {round(r.d_ms, 2): r.feasible for r in result.rows}
+    assert labels[13.25] is True
+    assert labels[1.0] is False
+
+
+def test_feasible_point_keeps_invariant(result):
+    feasible = next(r for r in result.rows if r.feasible)
+    assert not feasible.saturated
+
+
+def test_infeasible_point_saturates(result):
+    infeasible = next(r for r in result.rows if not r.feasible)
+    assert infeasible.saturated
+
+
+def test_phase_transition(result):
+    assert result.phase_transition_matches_feasibility()
+
+
+def test_table_renders(result):
+    assert "Saturation sweep" in result.table()

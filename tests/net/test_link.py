@@ -1,0 +1,38 @@
+"""Unit tests for links."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+
+
+def test_transmission_time():
+    link = Link(capacity=1000.0)
+    assert link.transmission_time(500.0) == pytest.approx(0.5)
+
+
+def test_t1_packet_time_matches_paper():
+    # 424 bits on a 1536 kbit/s link: about 0.276 ms.
+    link = Link(capacity=1.536e6)
+    assert link.transmission_time(424) == pytest.approx(0.000276, abs=1e-6)
+
+
+def test_zero_length_transmits_instantly():
+    assert Link(1000.0).transmission_time(0.0) == 0.0
+
+
+def test_rejects_non_positive_capacity():
+    with pytest.raises(ConfigurationError):
+        Link(0.0)
+    with pytest.raises(ConfigurationError):
+        Link(-5.0)
+
+
+def test_rejects_negative_propagation():
+    with pytest.raises(ConfigurationError):
+        Link(1000.0, propagation=-0.001)
+
+
+def test_rejects_negative_length():
+    with pytest.raises(ConfigurationError):
+        Link(1000.0).transmission_time(-1.0)

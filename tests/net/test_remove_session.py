@@ -1,0 +1,111 @@
+"""Tests for dynamic session teardown."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sched.leave_in_time import LeaveInTime
+from tests.conftest import add_trace_session, make_network
+
+
+def drained_network():
+    network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+    session, sink, source = add_trace_session(
+        network, "s", rate=100.0, times=[0.0, 0.1], lengths=100.0,
+        route=["n1", "n2"])
+    network.run(10.0)
+    return network, session, sink
+
+
+def test_remove_after_drain_clears_state():
+    network, session, sink = drained_network()
+    scheduler = network.node("n1").scheduler
+    assert scheduler.session_state("s") is not None
+    network.remove_session("s")
+    assert "s" not in network.sessions
+    with pytest.raises(KeyError):
+        scheduler.session_state("s")
+    assert "s" not in network.node("n1").buffer_bits
+    # Sink survives by default for post-hoc analysis.
+    assert network.sink("s").received == 2
+
+
+def test_remove_discarding_sink():
+    network, session, sink = drained_network()
+    network.remove_session("s", keep_sink=False)
+    with pytest.raises(KeyError):
+        network.sink("s")
+
+
+def test_remove_unknown_session_rejected():
+    network = make_network(LeaveInTime)
+    with pytest.raises(ConfigurationError):
+        network.remove_session("ghost")
+
+
+def test_remove_with_in_flight_packets_rejected():
+    network = make_network(LeaveInTime, capacity=1.0)
+    add_trace_session(network, "s", rate=1.0, times=[0.0], lengths=10.0)
+    network.run(5.0)  # still transmitting (10 s long)
+    with pytest.raises(SimulationError):
+        network.remove_session("s")
+
+
+def test_session_id_reusable_after_removal():
+    network, session, sink = drained_network()
+    network.remove_session("s", keep_sink=False)
+    _, sink2, _ = add_trace_session(
+        network, "s", rate=100.0, times=[], lengths=100.0,
+        route=["n1", "n2"])
+    assert network.sink("s") is sink2
+
+
+def test_reserved_rate_drops_after_removal():
+    network, session, sink = drained_network()
+    assert network.reserved_rate("n1") == 100.0
+    network.remove_session("s")
+    assert network.reserved_rate("n1") == 0.0
+
+
+class TestForgetAcrossDisciplines:
+    def _drain_and_remove(self, factory):
+        network = make_network(factory, capacity=1000.0)
+        add_trace_session(network, "s", rate=100.0, times=[0.0],
+                          lengths=100.0)
+        add_trace_session(network, "other", rate=100.0, times=[0.0],
+                          lengths=100.0)
+        network.run(10.0)
+        network.remove_session("s")
+        return network
+
+    def test_wfq_forgets_drained_session(self):
+        from repro.sched.wfq import WFQ
+        network = self._drain_and_remove(WFQ)
+        tracker = network.node("n1").scheduler._gps
+        assert "s" not in tracker._last_finish
+        assert "other" in tracker._last_finish
+
+    def test_drr_forgets_drained_session(self):
+        from repro.sched.drr import DeficitRoundRobin
+        network = self._drain_and_remove(DeficitRoundRobin)
+        scheduler = network.node("n1").scheduler
+        assert "s" not in scheduler._queues
+        assert "other" in scheduler._queues
+
+    def test_hrr_forget_frees_bandwidth(self):
+        from repro.sched.hrr import HierarchicalRoundRobin
+        network = self._drain_and_remove(
+            lambda: HierarchicalRoundRobin(frame=1.0))
+        scheduler = network.node("n1").scheduler
+        assert "s" not in scheduler._queues
+        # Bandwidth share released (two sessions of l_max quota = 100
+        # bits per 1 s frame each; one remains).
+        assert scheduler._reserved == 100.0
+
+    def test_scfq_and_rcsp_forget(self):
+        from repro.sched.scfq import SCFQ
+        network = self._drain_and_remove(SCFQ)
+        assert "s" not in network.node("n1").scheduler._last_finish
+
+        from repro.sched.rcsp import RCSP
+        network = self._drain_and_remove(lambda: RCSP([1.0]))
+        assert "s" not in network.node("n1").scheduler._last_eligible

@@ -1,0 +1,64 @@
+"""Unit tests for sessions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.session import Session
+from repro.sched.policy import constant_policy
+
+
+def make_session(**overrides):
+    spec = dict(session_id="s", rate=100.0, route=["n1", "n2"],
+                l_max=424.0)
+    spec.update(overrides)
+    return Session(**spec)
+
+
+class TestValidation:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            make_session(rate=0.0)
+
+    def test_rejects_empty_route(self):
+        with pytest.raises(ConfigurationError):
+            make_session(route=[])
+
+    def test_rejects_looping_route(self):
+        with pytest.raises(ConfigurationError):
+            make_session(route=["n1", "n2", "n1"])
+
+    def test_rejects_non_positive_l_max(self):
+        with pytest.raises(ConfigurationError):
+            make_session(l_max=0.0)
+
+    def test_rejects_l_min_above_l_max(self):
+        with pytest.raises(ConfigurationError):
+            make_session(l_min=1000.0)
+
+    def test_l_min_defaults_to_l_max(self):
+        assert make_session().l_min == 424.0
+
+
+class TestRoute:
+    def test_hops(self):
+        assert make_session().hops == 2
+
+    def test_node_at_and_last_hop(self):
+        session = make_session()
+        assert session.node_at(0) == "n1"
+        assert session.is_last_hop(1)
+        assert not session.is_last_hop(0)
+
+
+class TestPolicies:
+    def test_policy_roundtrip(self):
+        session = make_session()
+        policy = constant_policy(0.001, session.l_max)
+        session.set_policy("n1", policy)
+        assert session.policy_for("n1") is policy
+        assert session.policy_for("n2") is None
+
+    def test_policy_for_foreign_node_rejected(self):
+        session = make_session()
+        with pytest.raises(ConfigurationError):
+            session.set_policy("n9", constant_policy(0.001, 424.0))

@@ -1,0 +1,60 @@
+"""Unit tests for the Figure-6 topology and the MIX/CROSS configurations."""
+
+import pytest
+
+from repro.net.topology import (
+    CROSS_ONE_HOP_ROUTES,
+    CROSS_ROUTES,
+    MIX_ROUTE_COUNTS,
+    build_paper_network,
+    mix_session_specs,
+    sessions_per_node,
+)
+from repro.sched.fcfs import FCFS
+from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS
+
+
+def test_five_nodes_with_t1_links():
+    network = build_paper_network(FCFS)
+    assert sorted(network.nodes) == ["n1", "n2", "n3", "n4", "n5"]
+    for node in network.nodes.values():
+        assert node.link.capacity == T1_RATE_BPS
+        assert node.link.propagation == PAPER_PROPAGATION_S
+
+
+def test_mix_loads_every_node_with_48_sessions():
+    # 48 sessions x 32 kbit/s = exactly the T1 capacity at every node —
+    # the property that makes the paper's sigma values work out.
+    loads = sessions_per_node(MIX_ROUTE_COUNTS)
+    assert loads == {f"n{i}": 48 for i in range(1, 6)}
+
+
+def test_mix_totals_by_hop_count():
+    # Per-route list from the paper; its "8 four-hop" summary is a
+    # known arithmetic slip (see repro.net.topology docstring).
+    by_hops = {}
+    for spec in mix_session_specs():
+        by_hops[len(spec["route"])] = by_hops.get(len(spec["route"]), 0) + 1
+    assert by_hops[5] == 10
+    assert by_hops[3] == 16
+    assert by_hops[2] == 16
+    assert by_hops[1] == 62
+    assert by_hops[4] == 12
+    assert sum(by_hops.values()) == 116
+
+
+def test_mix_rate_commits_full_capacity():
+    loads = sessions_per_node(MIX_ROUTE_COUNTS)
+    for count in loads.values():
+        assert count * 32_000.0 == pytest.approx(T1_RATE_BPS)
+
+
+def test_cross_routes():
+    assert CROSS_ROUTES[0] == "a-j"
+    assert CROSS_ONE_HOP_ROUTES == ["a-f", "b-g", "c-h", "d-i", "e-j"]
+
+
+def test_custom_node_count():
+    from repro.net.topology import PaperTopology
+    network = PaperTopology(FCFS, node_count=3).build()
+    assert sorted(network.nodes) == ["n1", "n2", "n3"]

@@ -1,0 +1,80 @@
+"""Leave-in-Time's special case IS VirtualClock — checked, not assumed.
+
+The paper: with admission control procedure 1, one class, ε = 0 and no
+jitter control, d = L/r and Leave-in-Time reduces to VirtualClock. We
+run both disciplines on identical stochastic traffic (same seeds) and
+require identical per-packet delays, and deadlines.
+"""
+
+import pytest
+
+from repro.net.session import Session
+from repro.sched.leave_in_time import LeaveInTime
+from repro.sched.virtual_clock import VirtualClock
+from repro.traffic.onoff import OnOffSource
+from repro.traffic.poisson import PoissonSource
+from repro.units import ms
+from tests.conftest import make_network
+
+
+def build(scheduler_factory, *, nodes=3, seed=123):
+    network = make_network(scheduler_factory, nodes=nodes,
+                           capacity=200_000.0, propagation=1e-3,
+                           seed=seed)
+    route = [f"n{i}" for i in range(1, nodes + 1)]
+    sinks = {}
+    for index in range(3):
+        session = Session(f"onoff{index}", rate=32_000.0, route=route,
+                          l_max=424.0)
+        sinks[session.id] = network.add_session(session)
+        OnOffSource(network, session, length=424.0, spacing=ms(13.25),
+                    mean_on=ms(352), mean_off=ms(88),
+                    stream_name=f"onoff{index}")
+    poisson = Session("poisson", rate=64_000.0, route=route, l_max=424.0)
+    sinks[poisson.id] = network.add_session(poisson)
+    PoissonSource(network, poisson, length=424.0, mean=ms(8),
+                  stream_name="poisson")
+    network.run(30.0)
+    return sinks
+
+
+@pytest.fixture(scope="module")
+def both():
+    return build(LeaveInTime), build(VirtualClock)
+
+
+def test_identical_packet_counts(both):
+    lit, vc = both
+    for session_id in lit:
+        assert lit[session_id].received == vc[session_id].received
+
+
+def test_identical_delay_sequences(both):
+    lit, vc = both
+    for session_id in lit:
+        assert lit[session_id].samples.values == pytest.approx(
+            vc[session_id].samples.values, abs=1e-12)
+
+
+def test_identical_extremes(both):
+    lit, vc = both
+    for session_id in lit:
+        assert lit[session_id].max_delay == pytest.approx(
+            vc[session_id].max_delay, abs=1e-12)
+        assert lit[session_id].jitter == pytest.approx(
+            vc[session_id].jitter, abs=1e-12)
+
+
+def test_single_node_deadline_by_deadline():
+    # Deterministic trace, one node: the eq.-2 and eq.-10/11 stamps
+    # must agree packet for packet.
+    from tests.conftest import add_trace_session
+    times = [0.0, 0.0, 0.3, 0.31, 2.0, 2.0, 2.0]
+    results = {}
+    for name, factory in (("lit", LeaveInTime), ("vc", VirtualClock)):
+        network = make_network(factory, capacity=1000.0)
+        _, sink, _ = add_trace_session(network, "s", rate=100.0,
+                                       times=times, lengths=100.0)
+        network.run(30.0)
+        results[name] = [p.deadline for p in sink.packets]
+    assert results["lit"] == pytest.approx(results["vc"], abs=1e-12)

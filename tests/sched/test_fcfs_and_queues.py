@@ -1,0 +1,129 @@
+"""Unit tests for FCFS and the two deadline-queue implementations."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.session import Session
+from repro.sched.calendar_queue import (
+    ApproximateDeadlineQueue,
+    HeapDeadlineQueue,
+)
+from repro.sched.fcfs import FCFS
+from tests.conftest import add_trace_session, make_network
+
+
+def make_packet(deadline, seq=1):
+    session = Session("s", rate=100.0, route=["n1"], l_max=1000.0)
+    packet = Packet(session, seq, 100.0, 0.0)
+    packet.deadline = deadline
+    return packet
+
+
+class TestFCFS:
+    def test_serves_in_arrival_order_across_sessions(self):
+        network = make_network(FCFS, capacity=1000.0, trace=True)
+        add_trace_session(network, "a", rate=100.0, times=[0.0, 0.02],
+                          lengths=100.0)
+        add_trace_session(network, "b", rate=100.0, times=[0.01],
+                          lengths=100.0)
+        network.run(10.0)
+        starts = [(r.session, r.packet) for r in
+                  network.tracer.filter("tx_start", node="n1")]
+        assert starts == [("a", 1), ("b", 1), ("a", 2)]
+
+    def test_no_isolation(self):
+        # A burst from session a delays session b behind it.
+        network = make_network(FCFS, capacity=1000.0)
+        add_trace_session(network, "a", rate=100.0,
+                          times=[0.0] * 10, lengths=100.0)
+        _, sink_b, _ = add_trace_session(network, "b", rate=100.0,
+                                         times=[0.01], lengths=100.0)
+        network.run(10.0)
+        assert sink_b.max_delay > 0.9  # ten packets ahead of it
+
+    def test_backlog(self):
+        network = make_network(FCFS, capacity=1.0)
+        add_trace_session(network, "s", rate=1.0, times=[0.0, 0.0],
+                          lengths=10.0)
+        network.run(1.0)
+        assert network.node("n1").scheduler.backlog == 1
+
+
+class TestHeapDeadlineQueue:
+    def test_pops_in_deadline_order(self):
+        queue = HeapDeadlineQueue()
+        for deadline in (3.0, 1.0, 2.0):
+            queue.push(make_packet(deadline))
+        assert [queue.pop().deadline for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_equal_deadlines(self):
+        queue = HeapDeadlineQueue()
+        packets = [make_packet(1.0, seq=i) for i in range(5)]
+        for packet in packets:
+            queue.push(packet)
+        assert [queue.pop() for _ in range(5)] == packets
+
+    def test_empty_pop_returns_none(self):
+        assert HeapDeadlineQueue().pop() is None
+
+    def test_len_and_peek(self):
+        queue = HeapDeadlineQueue()
+        queue.push(make_packet(2.0))
+        queue.push(make_packet(1.0))
+        assert len(queue) == 2
+        assert queue.peek_deadline() == 1.0
+
+
+class TestApproximateDeadlineQueue:
+    def test_orders_across_bins(self):
+        queue = ApproximateDeadlineQueue(bin_width=1.0)
+        for deadline in (5.5, 0.5, 2.5):
+            queue.push(make_packet(deadline))
+        assert [queue.pop().deadline for _ in range(3)] == [0.5, 2.5, 5.5]
+
+    def test_fifo_within_bin_may_invert(self):
+        # 0.9 then 0.1 land in the same bin: FIFO order, an inversion
+        # bounded by the bin width — the documented emulation error.
+        queue = ApproximateDeadlineQueue(bin_width=1.0)
+        queue.push(make_packet(0.9, seq=1))
+        queue.push(make_packet(0.1, seq=2))
+        assert queue.pop().deadline == 0.9
+
+    def test_inversion_bounded_by_bin_width(self):
+        rng = random.Random(5)
+        width = 0.25
+        queue = ApproximateDeadlineQueue(bin_width=width)
+        deadlines = [rng.uniform(0, 10) for _ in range(500)]
+        for index, deadline in enumerate(deadlines):
+            queue.push(make_packet(deadline, seq=index))
+        popped = []
+        while (packet := queue.pop()) is not None:
+            popped.append(packet.deadline)
+        worst = max((earlier - later)
+                    for i, later in enumerate(popped)
+                    for earlier in popped[:i + 1])
+        assert worst < width
+
+    def test_interleaved_push_pop(self):
+        queue = ApproximateDeadlineQueue(bin_width=1.0)
+        queue.push(make_packet(3.5))
+        queue.push(make_packet(1.5))
+        assert queue.pop().deadline == 1.5
+        queue.push(make_packet(0.5))
+        assert queue.pop().deadline == 0.5
+        assert queue.pop().deadline == 3.5
+        assert queue.pop() is None
+
+    def test_len_counts_live_packets(self):
+        queue = ApproximateDeadlineQueue(bin_width=1.0)
+        queue.push(make_packet(1.0))
+        queue.push(make_packet(2.0))
+        queue.pop()
+        assert len(queue) == 1
+
+    def test_rejects_non_positive_bin(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateDeadlineQueue(0.0)

@@ -1,0 +1,152 @@
+"""Unit tests for Stop-and-Go and Hierarchical Round Robin."""
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.net.session import Session
+from repro.sched.hrr import HierarchicalRoundRobin
+from repro.sched.stop_and_go import StopAndGo
+from tests.conftest import add_trace_session, make_network
+
+
+class TestStopAndGo:
+    def test_packet_waits_for_next_frame(self):
+        # Frame T=1: a packet arriving at 0.3 becomes eligible at 1.0.
+        network = make_network(lambda: StopAndGo(frame=1.0),
+                               capacity=1000.0)
+        _, sink, _ = add_trace_session(network, "s", rate=100.0,
+                                       times=[0.3], lengths=100.0)
+        network.run(10.0)
+        assert sink.max_delay == pytest.approx(0.7 + 0.1)
+
+    def test_non_work_conserving_even_when_idle(self):
+        network = make_network(lambda: StopAndGo(frame=1.0),
+                               capacity=1000.0)
+        _, sink, _ = add_trace_session(network, "s", rate=100.0,
+                                       times=[0.0], lengths=100.0)
+        network.run(10.0)
+        # Arrived at frame start still waits a whole frame.
+        assert sink.max_delay == pytest.approx(1.1)
+
+    def test_frame_order_fifo(self):
+        network = make_network(lambda: StopAndGo(frame=1.0),
+                               capacity=1000.0, trace=True)
+        add_trace_session(network, "a", rate=100.0, times=[0.1, 1.2],
+                          lengths=100.0)
+        add_trace_session(network, "b", rate=100.0, times=[0.5],
+                          lengths=100.0)
+        network.run(10.0)
+        starts = [(r.session, r.packet) for r in
+                  network.tracer.filter("tx_start", node="n1")]
+        # Frame [0,1) packets (a1, b1) go out in frame [1,2); a2 waits
+        # for frame [2,3).
+        assert starts == [("a", 1), ("b", 1), ("a", 2)]
+
+    def test_two_hop_delay_scales_with_frames(self):
+        network = make_network(lambda: StopAndGo(frame=0.5), nodes=2,
+                               capacity=1000.0)
+        _, sink, _ = add_trace_session(network, "s", rate=100.0,
+                                       times=[0.1], lengths=100.0,
+                                       route=["n1", "n2"])
+        network.run(10.0)
+        # n1: eligible 0.5, done 0.6; n2: eligible 1.0, done 1.1.
+        assert sink.max_delay == pytest.approx(1.0)
+
+    def test_delay_within_golestani_envelope(self):
+        # (r,T)-smooth traffic (one 100-bit packet per 0.25 s frame at
+        # r = 400): delay <= alpha*H*T + T < 3T for H = 1.
+        network = make_network(lambda: StopAndGo(frame=0.25),
+                               capacity=1000.0)
+        _, sink, _ = add_trace_session(
+            network, "s", rate=400.0,
+            times=[0.25 * i + 0.05 for i in range(30)], lengths=100.0)
+        network.run(20.0)
+        assert sink.max_delay <= 3 * 0.25
+
+    def test_admission_charges_whole_packets_per_frame(self):
+        network = make_network(lambda: StopAndGo(frame=1.0),
+                               capacity=1000.0)
+        scheduler = network.node("n1").scheduler
+        # 950 bps with 100-bit packets in 1 s frames: 10 packets/frame
+        # -> charged 1000 bps, filling the link.
+        big = Session("big", rate=950.0, route=["n1"], l_max=100.0)
+        scheduler.admit(big)
+        tiny = Session("tiny", rate=1.0, route=["n1"], l_max=100.0)
+        with pytest.raises(AdmissionError):
+            scheduler.admit(tiny)
+
+    def test_rejects_non_positive_frame(self):
+        with pytest.raises(ConfigurationError):
+            StopAndGo(frame=0.0)
+
+
+class TestHRR:
+    def test_budget_limits_per_frame_throughput(self):
+        # Session rate 200 bps, frame 1 s, packets 100 bits: 2 packets
+        # per frame even though the link could carry 10.
+        network = make_network(lambda: HierarchicalRoundRobin(frame=1.0),
+                               capacity=1000.0, trace=True)
+        add_trace_session(network, "s", rate=200.0,
+                          times=[0.0] * 6, lengths=100.0)
+        network.run(10.0)
+        starts = [r.time for r in
+                  network.tracer.filter("tx_start", node="n1")]
+        per_frame = {}
+        for t in starts:
+            per_frame[int(t)] = per_frame.get(int(t), 0) + 1
+        assert all(count <= 2 for count in per_frame.values())
+        assert sum(per_frame.values()) == 6
+
+    def test_round_robin_alternates(self):
+        network = make_network(lambda: HierarchicalRoundRobin(frame=1.0),
+                               capacity=1000.0, trace=True)
+        add_trace_session(network, "a", rate=400.0, times=[0.0] * 4,
+                          lengths=100.0)
+        add_trace_session(network, "b", rate=400.0, times=[0.0] * 4,
+                          lengths=100.0)
+        network.run(5.0)
+        starts = [r.session for r in
+                  network.tracer.filter("tx_start", node="n1")][:4]
+        assert starts in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+
+    def test_quota_rounds_up_to_one_packet(self):
+        # A session slower than one packet per frame still gets one —
+        # the granularity coupling the paper criticizes in framing
+        # disciplines.
+        network = make_network(lambda: HierarchicalRoundRobin(frame=1.0),
+                               capacity=1000.0)
+        _, sink, _ = add_trace_session(network, "s", rate=10.0,
+                                       times=[0.0], lengths=100.0)
+        network.run(5.0)
+        assert sink.received == 1
+
+    def test_over_commitment_rejected(self):
+        network = make_network(lambda: HierarchicalRoundRobin(frame=1.0),
+                               capacity=1000.0)
+        scheduler = network.node("n1").scheduler
+        scheduler.register_session(
+            Session("a", rate=900.0, route=["n1"], l_max=100.0))
+        with pytest.raises(AdmissionError):
+            scheduler.register_session(
+                Session("b", rate=200.0, route=["n1"], l_max=100.0))
+
+    def test_rejects_non_positive_frame(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalRoundRobin(frame=-1.0)
+
+    def test_non_representable_frame_does_not_freeze_time(self):
+        # Regression: with frame lengths that are not exact binary
+        # floats (e.g. 13.25 ms), recomputing the next boundary as
+        # floor(now/frame)+1 could re-arm a timer at the *current*
+        # instant forever, freezing simulated time at 91 % CPU. The
+        # boundary must advance monotonically instead.
+        network = make_network(
+            lambda: HierarchicalRoundRobin(frame=0.01325),
+            capacity=1.536e6, trace=False)
+        add_trace_session(network, "s", rate=200_000.0,
+                          times=[0.001 * i for i in range(200)],
+                          lengths=424.0)
+        network.run(3.0)  # would previously never return
+        assert network.sinks["s"].received == 200
+        # Sanity: far fewer events than a runaway timer would produce.
+        assert network.sim.events_dispatched < 10_000

@@ -1,0 +1,82 @@
+"""Unit tests for the reference server (eq. 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.reference import (
+    ReferenceServer,
+    reference_delays,
+    reference_finish_times,
+)
+
+
+class TestBatchForm:
+    def test_isolated_packets(self):
+        # Arrivals far apart: W_i = t_i + L/r.
+        finishes = reference_finish_times([0.0, 10.0], [100.0, 100.0],
+                                          rate=100.0)
+        assert finishes == pytest.approx([1.0, 11.0])
+
+    def test_back_to_back_packets_queue(self):
+        finishes = reference_finish_times([0.0, 0.0, 0.0], [100.0] * 3,
+                                          rate=100.0)
+        assert finishes == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_partial_overlap(self):
+        # Second packet arrives while first still in service.
+        finishes = reference_finish_times([0.0, 0.5], [100.0, 100.0],
+                                          rate=100.0)
+        assert finishes == pytest.approx([1.0, 2.0])
+
+    def test_variable_lengths(self):
+        finishes = reference_finish_times([0.0, 0.1], [50.0, 200.0],
+                                          rate=100.0)
+        assert finishes == pytest.approx([0.5, 2.5])
+
+    def test_delays(self):
+        delays = reference_delays([0.0, 0.0], [100.0, 100.0], rate=100.0)
+        assert delays == pytest.approx([1.0, 2.0])
+
+    def test_empty_sequence(self):
+        assert reference_finish_times([], [], 100.0) == []
+
+    def test_rejects_decreasing_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            reference_finish_times([1.0, 0.5], [1.0, 1.0], 100.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            reference_finish_times([0.0], [1.0, 2.0], 100.0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            reference_finish_times([0.0], [1.0], 0.0)
+
+
+class TestIncrementalForm:
+    def test_matches_batch(self):
+        arrivals = [0.0, 0.3, 0.3, 1.7, 2.0]
+        lengths = [100.0, 50.0, 200.0, 100.0, 10.0]
+        server = ReferenceServer(rate=100.0)
+        incremental = [server.arrive(t, l)
+                       for t, l in zip(arrivals, lengths)]
+        assert incremental == pytest.approx(
+            reference_delays(arrivals, lengths, 100.0))
+
+    def test_busy_until(self):
+        server = ReferenceServer(rate=100.0)
+        server.arrive(0.0, 100.0)
+        assert server.busy_until == pytest.approx(1.0)
+
+    def test_token_bucket_conformant_delay_bound(self):
+        # Spacing >= L/r implies every delay is exactly L/r (eq. 14
+        # with b0 = L): the reference server never queues.
+        server = ReferenceServer(rate=100.0)
+        delays = [server.arrive(i * 1.0, 100.0) for i in range(50)]
+        assert all(d == pytest.approx(1.0) for d in delays)
+
+    def test_rejects_time_reversal(self):
+        server = ReferenceServer(rate=100.0)
+        server.arrive(1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            server.arrive(0.5, 10.0)

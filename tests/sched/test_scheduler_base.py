@@ -1,0 +1,38 @@
+"""Tests for the scheduler base-class contract."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.link import Link
+from repro.net.node import ServerNode
+from repro.sched.fcfs import FCFS
+from repro.sim.kernel import Simulator
+
+
+def test_scheduler_cannot_be_shared_between_nodes():
+    sim = Simulator()
+    scheduler = FCFS()
+    ServerNode("n1", Link(1000.0), scheduler, sim)
+    with pytest.raises(SimulationError):
+        ServerNode("n2", Link(1000.0), scheduler, sim)
+
+
+def test_capacity_requires_binding():
+    with pytest.raises(SimulationError):
+        FCFS().capacity
+
+
+def test_capacity_reflects_link():
+    sim = Simulator()
+    scheduler = FCFS()
+    ServerNode("n1", Link(2500.0), scheduler, sim)
+    assert scheduler.capacity == 2500.0
+
+
+def test_wake_without_node_is_safe():
+    FCFS()._wake_node()  # must not raise
+
+
+def test_lateness_tally_starts_empty():
+    scheduler = FCFS()
+    assert scheduler.lateness.count == 0

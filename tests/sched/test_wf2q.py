@@ -1,0 +1,79 @@
+"""Unit tests for WF²Q."""
+
+import pytest
+
+from repro.sched.wf2q import WF2Q
+from repro.sched.wfq import WFQ
+from tests.conftest import add_trace_session, make_network
+
+
+def test_single_session_fifo():
+    network = make_network(WF2Q, capacity=1000.0)
+    _, sink, _ = add_trace_session(network, "s", rate=100.0,
+                                   times=[0.0, 0.0], lengths=100.0)
+    network.run(10.0)
+    assert sink.samples.values == pytest.approx([0.1, 0.2])
+
+
+def test_share_proportional_to_rate():
+    network = make_network(WF2Q, capacity=1000.0, trace=True)
+    add_trace_session(network, "heavy", rate=750.0, times=[0.0] * 40,
+                      lengths=100.0)
+    add_trace_session(network, "light", rate=250.0, times=[0.0] * 40,
+                      lengths=100.0)
+    network.run(3.0)
+    starts = [r.session for r in
+              network.tracer.filter("tx_start", node="n1")]
+    heavy_share = starts[:28].count("heavy") / 28
+    assert heavy_share == pytest.approx(0.75, abs=0.08)
+
+
+def test_worst_case_fairness_interleaves_early():
+    # The WF2Q signature scenario: many sessions backlogged, one with
+    # a big head start in WFQ. Under WFQ a fast session can send a
+    # burst back-to-back ahead of its GPS schedule; WF2Q interleaves
+    # from the start because future-start packets are not eligible.
+    def run(factory):
+        network = make_network(factory, capacity=1000.0, trace=True)
+        add_trace_session(network, "fast", rate=500.0, times=[0.0] * 10,
+                          lengths=100.0)
+        for index in range(5):
+            add_trace_session(network, f"slow{index}", rate=100.0,
+                              times=[0.0], lengths=100.0)
+        network.run(10.0)
+        return [r.session for r in
+                network.tracer.filter("tx_start", node="n1")]
+
+    wf2q_order = run(WF2Q)
+    # In the first 6 slots WF2Q must already have served some slow
+    # session (fast's 4th packet has virtual start beyond V).
+    assert any(s.startswith("slow") for s in wf2q_order[:4])
+
+
+def test_all_packets_delivered():
+    network = make_network(WF2Q, nodes=2, capacity=10_000.0)
+    for index in range(3):
+        add_trace_session(network, f"s{index}", rate=3000.0,
+                          times=[0.01 * i for i in range(30)],
+                          lengths=424.0, route=["n1", "n2"])
+    network.run(1000.0)
+    for index in range(3):
+        assert network.sink(f"s{index}").received == 30
+
+
+def test_isolation_from_burst():
+    network = make_network(WF2Q, capacity=1000.0)
+    add_trace_session(network, "burst", rate=500.0, times=[0.0] * 20,
+                      lengths=100.0)
+    _, sink, _ = add_trace_session(network, "steady", rate=500.0,
+                                   times=[0.01], lengths=100.0)
+    network.run(10.0)
+    assert sink.max_delay < 0.4
+
+
+def test_work_conserving():
+    network = make_network(WF2Q, capacity=1000.0)
+    _, sink, _ = add_trace_session(network, "s", rate=1.0,
+                                   times=[0.0], lengths=100.0)
+    network.run(300.0)
+    assert sink.max_delay == pytest.approx(0.1)

@@ -1,0 +1,150 @@
+"""Unit tests for the simulator kernel: clock, run control, safety."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_relative_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.25]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(1.0, second)
+
+        def second():
+            seen.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("first", 1.0), ("second", 2.0)]
+
+    def test_args_are_forwarded(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, seen.append, 42)
+        sim.run()
+        assert seen == [42]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        stopped_at = sim.run(until=4.0)
+        assert stopped_at == 4.0
+        assert sim.now == 4.0
+        assert sim.pending == 1
+
+    def test_run_until_executes_event_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.0, lambda: seen.append(sim.now))
+        sim.run(until=4.0)
+        assert seen == [4.0]
+
+    def test_events_beyond_until_stay_queued(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        sim.run(until=10.0)
+        assert seen == [1, 5]
+
+    def test_max_events_limits_dispatch(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_dispatched == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        failure = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as error:
+                failure.append(error)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(failure) == 1
+
+    def test_reset_clears_state(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.events_dispatched == 0
+
+    def test_dispatch_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(0.5, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 4
+
+    def test_cancelled_events_never_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("no"))
+        sim.schedule(2.0, lambda: seen.append("yes"))
+        handle.cancel()
+        sim.run()
+        assert seen == ["yes"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        seen = []
+        for name in ("a", "b", "c"):
+            sim.schedule(1.0, seen.append, name)
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_priority_orders_simultaneous_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "late", priority=1)
+        sim.schedule(1.0, seen.append, "early", priority=-1)
+        sim.run()
+        assert seen == ["early", "late"]

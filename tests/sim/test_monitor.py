@@ -1,0 +1,97 @@
+"""Unit tests for the measurement primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Counter, Tally, TimeSeries, TimeWeighted
+
+
+class TestCounter:
+    def test_counts(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestTally:
+    def test_basic_statistics(self):
+        tally = Tally()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            tally.observe(value)
+        assert tally.count == 4
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.minimum == 1.0
+        assert tally.maximum == 4.0
+        assert tally.spread == 3.0
+        assert tally.variance == pytest.approx(5.0 / 3.0)
+
+    def test_welford_matches_two_pass(self):
+        values = [math.sin(i) * 10 for i in range(100)]
+        tally = Tally()
+        for value in values:
+            tally.observe(value)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert tally.mean == pytest.approx(mean)
+        assert tally.variance == pytest.approx(var)
+
+    def test_empty_tally_defaults(self):
+        tally = Tally()
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+        assert tally.spread == 0.0
+
+    def test_single_observation(self):
+        tally = Tally()
+        tally.observe(7.0)
+        assert tally.mean == 7.0
+        assert tally.variance == 0.0
+        assert tally.stddev == 0.0
+
+
+class TestTimeWeighted:
+    def test_time_average_of_step_signal(self):
+        signal = TimeWeighted(initial=0.0)
+        signal.update(1.0, 10.0)   # 0 for [0,1)
+        signal.update(3.0, 0.0)    # 10 for [1,3)
+        # average over [0,3] = (0*1 + 10*2)/3
+        assert signal.time_average(3.0) == pytest.approx(20.0 / 3.0)
+
+    def test_average_extends_to_now(self):
+        signal = TimeWeighted(initial=4.0)
+        signal.update(2.0, 4.0)
+        assert signal.time_average(4.0) == pytest.approx(4.0)
+
+    def test_tracks_maximum(self):
+        signal = TimeWeighted(initial=1.0)
+        signal.update(1.0, 5.0)
+        signal.update(2.0, 2.0)
+        assert signal.maximum == 5.0
+
+    def test_time_going_backwards_rejected(self):
+        signal = TimeWeighted()
+        signal.update(2.0, 1.0)
+        with pytest.raises(ValueError):
+            signal.update(1.0, 0.0)
+
+
+class TestTimeSeries:
+    def test_records_pairs(self):
+        series = TimeSeries()
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.items() == [(1.0, 10.0), (2.0, 20.0)]
+        assert len(series) == 2
+
+    def test_max_samples_drops_excess(self):
+        series = TimeSeries(max_samples=2)
+        for i in range(5):
+            series.record(float(i), float(i))
+        assert len(series) == 2
+        assert series.dropped == 3

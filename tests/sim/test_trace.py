@@ -1,0 +1,40 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "arrival", node="n1")
+    assert tracer.records == []
+
+
+def test_enabled_tracer_records_fields():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "arrival", node="n1", session="s", packet=3,
+                deadline=2.5)
+    record = tracer.records[0]
+    assert record.time == 1.0
+    assert record.category == "arrival"
+    assert record.node == "n1"
+    assert record.session == "s"
+    assert record.packet == 3
+    assert record.detail == {"deadline": 2.5}
+
+
+def test_filter_by_category_node_session():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "arrival", node="n1", session="a")
+    tracer.emit(2.0, "arrival", node="n2", session="a")
+    tracer.emit(3.0, "tx_end", node="n1", session="b")
+    assert len(list(tracer.filter("arrival"))) == 2
+    assert len(list(tracer.filter("arrival", node="n1"))) == 1
+    assert len(list(tracer.filter(session="b"))) == 1
+    assert len(list(tracer.filter())) == 3
+
+
+def test_clear_drops_records():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "x")
+    tracer.clear()
+    assert tracer.records == []

@@ -1,0 +1,58 @@
+"""Unit tests for the units helpers, errors, and package surface."""
+
+import pytest
+
+import repro
+from repro import errors, units
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.ms(13.25) == pytest.approx(0.01325)
+        assert units.us(500) == pytest.approx(0.0005)
+        assert units.seconds(2) == 2.0
+        assert units.to_ms(0.01325) == pytest.approx(13.25)
+
+    def test_data_conversions(self):
+        assert units.kbit(424) == 424_000.0
+        assert units.Mbit(1.5) == 1_500_000.0
+        assert units.kbps(32) == 32_000.0
+        assert units.Mbps(100) == 100_000_000.0
+
+    def test_paper_constants(self):
+        assert units.ATM_PACKET_BITS == 424
+        assert units.T1_RATE_BPS == 1_536_000.0
+        assert units.PAPER_PROPAGATION_S == 1e-3
+        # Consistency: one packet at 32 kbit/s takes exactly T.
+        assert units.ATM_PACKET_BITS / units.kbps(32) == pytest.approx(
+            units.ms(13.25))
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SimulationError, errors.ReproError)
+        assert issubclass(errors.ConfigurationError, errors.ReproError)
+        assert issubclass(errors.AdmissionError, errors.ReproError)
+        assert issubclass(errors.SchedulerSaturationError,
+                          errors.AdmissionError)
+
+    def test_admission_error_context(self):
+        error = errors.AdmissionError("nope", rule="1.2", node="n3")
+        assert error.rule == "1.2"
+        assert error.node == "n3"
+        assert "nope" in str(error)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_scheduler_classes_exported(self):
+        for name in ("LeaveInTime", "VirtualClock", "WFQ", "SCFQ",
+                     "FCFS", "StopAndGo", "HierarchicalRoundRobin",
+                     "RCSP", "DelayEDD", "JitterEDD"):
+            assert hasattr(repro, name)

@@ -1,0 +1,72 @@
+"""Unit tests for packet-length samplers."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.lengths import (
+    BimodalLength,
+    ChoiceLength,
+    FixedLength,
+    UniformLength,
+)
+
+
+class TestFixedLength:
+    def test_constant(self):
+        sampler = FixedLength(424.0)
+        assert sampler.sample() == 424.0
+        assert sampler.l_min == sampler.l_max == 424.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            FixedLength(0.0)
+
+
+class TestUniformLength:
+    def test_within_bounds(self):
+        sampler = UniformLength(random.Random(1), 100.0, 424.0)
+        samples = [sampler.sample() for _ in range(500)]
+        assert min(samples) >= 100.0
+        assert max(samples) <= 424.0
+
+    def test_mean_near_midpoint(self):
+        sampler = UniformLength(random.Random(2), 100.0, 300.0)
+        samples = [sampler.sample() for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(200.0,
+                                                            rel=0.05)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            UniformLength(random.Random(0), 300.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            UniformLength(random.Random(0), 0.0, 100.0)
+
+
+class TestChoiceLength:
+    def test_only_listed_values(self):
+        sampler = ChoiceLength(random.Random(3), [64.0, 424.0, 1500.0])
+        assert set(sampler.sample() for _ in range(200)) <= {
+            64.0, 424.0, 1500.0}
+        assert sampler.l_min == 64.0
+        assert sampler.l_max == 1500.0
+
+    def test_rejects_empty_or_bad(self):
+        with pytest.raises(ConfigurationError):
+            ChoiceLength(random.Random(0), [])
+        with pytest.raises(ConfigurationError):
+            ChoiceLength(random.Random(0), [100.0, -1.0])
+
+
+class TestBimodalLength:
+    def test_mixture_fraction(self):
+        sampler = BimodalLength(random.Random(4), 64.0, 1500.0,
+                                p_large=0.25)
+        samples = [sampler.sample() for _ in range(8000)]
+        large = sum(1 for s in samples if s == 1500.0) / len(samples)
+        assert large == pytest.approx(0.25, abs=0.03)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            BimodalLength(random.Random(0), 64.0, 1500.0, p_large=1.5)

@@ -1,0 +1,100 @@
+"""Unit and statistical tests for the ON-OFF source."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.session import Session
+from repro.sched.fcfs import FCFS
+from repro.traffic.onoff import OnOffSource
+from repro.traffic.token_bucket import is_conformant
+from repro.units import ms
+from tests.conftest import make_network
+
+
+def build(a_off, *, seed=0, capacity=1e6):
+    network = make_network(FCFS, capacity=capacity, seed=seed)
+    session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+    network.add_session(session, keep_samples=False)
+    source = OnOffSource(network, session, length=424.0,
+                         spacing=ms(13.25), mean_on=ms(352),
+                         mean_off=a_off, keep_trace=True)
+    return network, source
+
+
+class TestRates:
+    def test_peak_rate(self):
+        _, source = build(ms(650))
+        assert source.peak_rate == pytest.approx(32_000.0)
+
+    def test_mean_rate_decreases_with_off_time(self):
+        _, busy = build(ms(6.5))
+        _, idle = build(ms(650))
+        assert busy.mean_rate > idle.mean_rate
+
+    def test_zero_off_time_is_peak_rate(self):
+        _, source = build(0.0)
+        assert source.mean_rate == pytest.approx(source.peak_rate)
+
+    def test_empirical_rate_matches_mean_rate(self):
+        network, source = build(ms(650), seed=3)
+        network.run(400.0)
+        empirical = source.emitted * 424.0 / 400.0
+        assert empirical == pytest.approx(source.mean_rate, rel=0.15)
+
+
+class TestPattern:
+    def test_in_burst_spacing_is_constant(self):
+        network, source = build(0.0)
+        network.run(1.0)
+        gaps = [b - a for a, b in zip(source.trace_times,
+                                      source.trace_times[1:])]
+        assert all(g == pytest.approx(13.25e-3) for g in gaps)
+
+    def test_interarrivals_never_below_spacing(self):
+        network, source = build(ms(6.5), seed=7)
+        network.run(60.0)
+        gaps = [b - a for a, b in zip(source.trace_times,
+                                      source.trace_times[1:])]
+        assert min(gaps) >= 13.25e-3 - 1e-12
+
+    def test_conforms_to_reserved_rate_token_bucket(self):
+        # The property eq. 14's D_ref = L/r for these sessions rests on.
+        network, source = build(ms(88), seed=5)
+        network.run(120.0)
+        assert is_conformant(source.trace_times, source.trace_lengths,
+                             32_000.0, 424.0)
+
+    def test_burst_lengths_average_a_on_over_t(self):
+        network, source = build(ms(650), seed=11)
+        network.run(600.0)
+        gaps = [b - a for a, b in zip(source.trace_times,
+                                      source.trace_times[1:])]
+        bursts = 1 + sum(1 for g in gaps if g > 13.25e-3 + 1e-9)
+        packets_per_burst = source.emitted / bursts
+        assert packets_per_burst == pytest.approx(352 / 13.25, rel=0.2)
+
+
+class TestValidation:
+    def test_rejects_non_positive_spacing(self):
+        network = make_network(FCFS)
+        session = Session("s", rate=1.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        with pytest.raises(ConfigurationError):
+            OnOffSource(network, session, length=424.0, spacing=0.0,
+                        mean_on=1.0, mean_off=1.0)
+
+    def test_rejects_mean_on_below_spacing(self):
+        network = make_network(FCFS)
+        session = Session("s", rate=1.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        with pytest.raises(ConfigurationError):
+            OnOffSource(network, session, length=424.0, spacing=1.0,
+                        mean_on=0.5, mean_off=1.0)
+
+    def test_rejects_negative_mean_off(self):
+        network = make_network(FCFS)
+        session = Session("s", rate=1.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        with pytest.raises(ConfigurationError):
+            OnOffSource(network, session, length=424.0, spacing=1.0,
+                        mean_on=2.0, mean_off=-1.0)

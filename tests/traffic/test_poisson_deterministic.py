@@ -1,0 +1,120 @@
+"""Unit and statistical tests for Poisson and Deterministic sources."""
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.session import Session
+from repro.sched.fcfs import FCFS
+from repro.traffic.deterministic import DeterministicSource
+from repro.traffic.poisson import PoissonSource
+from tests.conftest import make_network
+
+
+def poisson(mean, *, seed=0, rate=400_000.0):
+    network = make_network(FCFS, capacity=1e7, seed=seed)
+    session = Session("s", rate=rate, route=["n1"], l_max=424.0)
+    network.add_session(session, keep_samples=False)
+    source = PoissonSource(network, session, length=424.0, mean=mean,
+                           keep_trace=True)
+    return network, source
+
+
+class TestPoisson:
+    def test_mean_interarrival(self):
+        network, source = poisson(1.5143e-3, seed=2)
+        network.run(60.0)
+        gaps = [b - a for a, b in zip(source.trace_times,
+                                      source.trace_times[1:])]
+        assert statistics.fmean(gaps) == pytest.approx(1.5143e-3,
+                                                       rel=0.05)
+
+    def test_mean_rate_and_utilization(self):
+        _, source = poisson(1.5143e-3)
+        assert source.mean_rate == pytest.approx(424 / 1.5143e-3)
+        assert source.utilization() == pytest.approx(0.7, abs=0.01)
+
+    def test_figure10_parameters(self):
+        _, source = poisson(40e-3, rate=32_000.0)
+        assert source.utilization() == pytest.approx(0.33, abs=0.01)
+
+    def test_interarrival_cv_close_to_one(self):
+        network, source = poisson(1e-3, seed=4)
+        network.run(30.0)
+        gaps = [b - a for a, b in zip(source.trace_times,
+                                      source.trace_times[1:])]
+        cv = statistics.pstdev(gaps) / statistics.fmean(gaps)
+        assert cv == pytest.approx(1.0, rel=0.1)
+
+
+class TestDeterministic:
+    def test_exact_spacing(self):
+        network = make_network(FCFS, capacity=1e6)
+        session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+        network.add_session(session, keep_samples=False)
+        source = DeterministicSource(network, session, length=424.0,
+                                     interval=13.25e-3, keep_trace=True)
+        network.run(0.2)
+        expected = [round(i * 13.25e-3, 9) for i in range(
+            len(source.trace_times))]
+        assert source.trace_times == pytest.approx(expected)
+
+    def test_start_delay_phases_source(self):
+        network = make_network(FCFS, capacity=1e6)
+        session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+        network.add_session(session, keep_samples=False)
+        source = DeterministicSource(network, session, length=424.0,
+                                     interval=0.1, start_delay=0.03,
+                                     keep_trace=True)
+        network.run(0.35)
+        assert source.trace_times == pytest.approx([0.03, 0.13, 0.23, 0.33])
+
+    def test_mean_rate(self):
+        network = make_network(FCFS, capacity=1e6)
+        session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        source = DeterministicSource(network, session, length=424.0,
+                                     interval=13.25e-3)
+        assert source.mean_rate == pytest.approx(32_000.0)
+
+    def test_rejects_non_positive_interval(self):
+        network = make_network(FCFS)
+        session = Session("s", rate=1.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        with pytest.raises(ConfigurationError):
+            DeterministicSource(network, session, length=424.0,
+                                interval=0.0)
+
+
+class TestSourceLifecycle:
+    def test_max_packets_stops_source(self):
+        network = make_network(FCFS, capacity=1e6)
+        session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        source = DeterministicSource(network, session, length=424.0,
+                                     interval=0.01, max_packets=3)
+        network.run(1.0)
+        assert source.emitted == 3
+
+    def test_start_is_idempotent(self):
+        network = make_network(FCFS, capacity=1e6)
+        session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        source = DeterministicSource(network, session, length=424.0,
+                                     interval=0.01, max_packets=2)
+        source.start()
+        source.start()
+        network.run(1.0)
+        assert source.emitted == 2
+
+    def test_stop_halts_emission(self):
+        network = make_network(FCFS, capacity=1e6)
+        session = Session("s", rate=32_000.0, route=["n1"], l_max=424.0)
+        network.add_session(session)
+        source = DeterministicSource(network, session, length=424.0,
+                                     interval=0.1)
+        network.run(0.25)
+        source.stop()
+        network.run(1.0)
+        assert source.emitted == 3  # t = 0, 0.1, 0.2

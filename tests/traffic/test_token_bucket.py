@@ -1,0 +1,123 @@
+"""Unit tests for token buckets and traffic envelopes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.token_bucket import (
+    TokenBucket,
+    is_conformant,
+    is_rt_smooth,
+    shape_arrivals,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        assert bucket.tokens_at(0.0) == 500.0
+
+    def test_refills_at_rate_capped_at_depth(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        assert bucket.consume(500.0, 0.0)
+        assert bucket.tokens_at(2.0) == pytest.approx(200.0)
+        assert bucket.tokens_at(100.0) == pytest.approx(500.0)
+
+    def test_consume_reports_violation(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        assert bucket.consume(500.0, 0.0) is True
+        assert bucket.consume(500.0, 1.0) is False
+
+    def test_earliest_conformance_time(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        bucket.consume(500.0, 0.0)
+        # Needs 300 tokens: 3 seconds of refill.
+        assert bucket.earliest(300.0, 0.0) == pytest.approx(3.0)
+
+    def test_earliest_now_when_tokens_available(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        assert bucket.earliest(100.0, 5.0) == 5.0
+
+    def test_oversized_packet_can_never_conform(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        with pytest.raises(ConfigurationError):
+            bucket.earliest(501.0, 0.0)
+
+    def test_time_must_not_go_backwards(self):
+        bucket = TokenBucket(rate=100.0, depth=500.0)
+        bucket.consume(10.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            bucket.consume(10.0, 4.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(100.0, 0.0)
+
+
+class TestConformance:
+    def test_spaced_fixed_packets_conform(self):
+        # Packets of L bits every L/r seconds conform to (r, L).
+        times = [i * 0.1 for i in range(20)]
+        assert is_conformant(times, [10.0] * 20, rate=100.0, depth=10.0)
+
+    def test_burst_violates_small_bucket(self):
+        assert not is_conformant([0.0, 0.0], [10.0, 10.0],
+                                 rate=100.0, depth=10.0)
+
+    def test_burst_fits_big_bucket(self):
+        assert is_conformant([0.0, 0.0], [10.0, 10.0],
+                             rate=100.0, depth=20.0)
+
+
+class TestShaper:
+    def test_shaper_output_is_conformant(self):
+        times = [0.0, 0.0, 0.0, 0.05]
+        lengths = [10.0] * 4
+        releases = shape_arrivals(times, lengths, rate=100.0, depth=10.0)
+        assert is_conformant(releases, lengths, rate=100.0, depth=10.0)
+
+    def test_shaper_never_releases_early(self):
+        times = [0.0, 0.2, 0.4]
+        releases = shape_arrivals(times, [5.0] * 3, rate=100.0,
+                                  depth=10.0)
+        assert all(r >= t for r, t in zip(releases, times))
+
+    def test_shaper_preserves_order(self):
+        times = [0.0, 0.0, 0.0]
+        releases = shape_arrivals(times, [10.0] * 3, rate=100.0,
+                                  depth=10.0)
+        assert releases == sorted(releases)
+
+    def test_conformant_trace_passes_through(self):
+        times = [0.0, 0.5, 1.0]
+        releases = shape_arrivals(times, [10.0] * 3, rate=100.0,
+                                  depth=50.0)
+        assert releases == pytest.approx(times)
+
+
+class TestRtSmooth:
+    def test_within_budget_is_smooth(self):
+        # One 10-bit packet per 0.1 s frame at r=100: budget 10 bits.
+        times = [0.05 + 0.1 * i for i in range(10)]
+        assert is_rt_smooth(times, [10.0] * 10, rate=100.0, frame=0.1)
+
+    def test_two_packets_in_one_frame_violate(self):
+        assert not is_rt_smooth([0.01, 0.02], [10.0, 10.0],
+                                rate=100.0, frame=0.1)
+
+    def test_phase_shifts_frames(self):
+        # Packets at 0.09 and 0.11 share frame [0, 0.1+phase) only for
+        # suitable phases.
+        times, lengths = [0.09, 0.11], [10.0, 10.0]
+        assert is_rt_smooth(times, lengths, rate=100.0, frame=0.1)
+        assert not is_rt_smooth(times, lengths, rate=100.0, frame=0.1,
+                                phase=0.05)
+
+    def test_rt_smooth_implies_token_bucket(self):
+        # The paper: (r,T)-smooth conforms to token bucket (r, rT).
+        times = [0.0, 0.05, 0.15, 0.25, 0.31]
+        lengths = [5.0, 5.0, 8.0, 10.0, 2.0]
+        rate, frame = 100.0, 0.1
+        if is_rt_smooth(times, lengths, rate, frame):
+            assert is_conformant(times, lengths, rate, rate * frame)
