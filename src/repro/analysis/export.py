@@ -9,15 +9,20 @@ from __future__ import annotations
 
 import csv
 from dataclasses import fields, is_dataclass
+from os import PathLike
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 from repro.errors import ConfigurationError
 
 __all__ = ["write_series_csv", "write_rows_csv", "write_ccdf_csv"]
 
+#: Anything the csv writers accept as a destination.
+PathInput = Union[str, "PathLike[str]"]
 
-def write_series_csv(path, columns: dict) -> Path:
+
+def write_series_csv(path: PathInput,
+                     columns: dict[str, Sequence[object]]) -> Path:
     """Write named, equal-length columns as CSV.
 
     ``columns`` maps header name to a sequence; all sequences must
@@ -39,7 +44,7 @@ def write_series_csv(path, columns: dict) -> Path:
     return target
 
 
-def write_rows_csv(path, rows: Iterable) -> Path:
+def write_rows_csv(path: PathInput, rows: Iterable[object]) -> Path:
     """Write a sequence of dataclass instances as CSV (one per row)."""
     materialized = list(rows)
     if not materialized:
@@ -58,7 +63,7 @@ def write_rows_csv(path, rows: Iterable) -> Path:
     return target
 
 
-def write_ccdf_csv(path, delays_ms: Sequence[float],
+def write_ccdf_csv(path: PathInput, delays_ms: Sequence[float],
                    measured: Sequence[float],
                    analytical: Sequence[float] | None = None,
                    simulated: Sequence[float] | None = None) -> Path:

@@ -35,7 +35,7 @@ from repro.net.topology import build_paper_network
 from repro.sched.leave_in_time import LeaveInTime
 from repro.sim.rng import ExponentialSampler
 from repro.traffic.onoff import OnOffSource
-from repro.units import ms, to_ms
+from repro.units import ms, seconds, to_ms
 
 __all__ = ["CallRecord", "CallChurnResult", "run"]
 
@@ -162,14 +162,14 @@ class _ChurnDriver:
         record.ended_at = self.network.sim.now
         # Tear scheduler/node state down once the call's last packets
         # have drained (a second is far beyond any delay bound here).
-        self.network.sim.schedule(1.0, self._cleanup, session.id)
+        self.network.sim.schedule(seconds(1.0), self._cleanup, session.id)
 
     def _cleanup(self, session_id: str) -> None:
         from repro.errors import ReproError
         try:
             self.network.remove_session(session_id)
         except ReproError:  # pragma: no cover - drain race; retry once
-            self.network.sim.schedule(1.0, self._cleanup, session_id)
+            self.network.sim.schedule(seconds(1.0), self._cleanup, session_id)
 
     def _harvest(self, record: CallRecord, session: Session) -> None:
         sink = self.network.sinks[session.id]

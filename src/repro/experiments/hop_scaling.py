@@ -31,7 +31,7 @@ from repro.net.session import Session
 from repro.sched.leave_in_time import LeaveInTime
 from repro.sched.policy import constant_policy
 from repro.traffic.onoff import OnOffSource
-from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS, ms, to_ms
+from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS, kbps, ms, to_ms
 
 __all__ = ["HopScalingRow", "HopScalingResult", "run"]
 
@@ -103,7 +103,7 @@ def _run_tandem(hops: int, *, shifted_d: float | None, duration: float,
     # Background load on every hop: three 256 kbit/s ON-OFF sessions.
     for index, name in enumerate(route):
         for k in range(3):
-            bg = Session(f"bg-{name}-{k}", rate=256_000.0, route=[name],
+            bg = Session(f"bg-{name}-{k}", rate=kbps(256), route=[name],
                          l_max=PACKET)
             network.add_session(bg, keep_samples=False)
             OnOffSource(network, bg, length=PACKET, spacing=ms(1.65625),

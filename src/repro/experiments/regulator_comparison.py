@@ -45,7 +45,7 @@ from repro.net.topology import CROSS_ONE_HOP_ROUTES, build_paper_network
 from repro.sched.edd import JitterEDD, edd_schedulable
 from repro.sched.leave_in_time import LeaveInTime
 from repro.traffic.deterministic import DeterministicSource
-from repro.units import ms, to_ms
+from repro.units import T1_RATE_BPS, ms, to_ms
 
 __all__ = ["RegulatorOutcome", "RegulatorComparisonResult", "run"]
 
@@ -150,7 +150,7 @@ def run(*, duration: float = 30.0, seed: int = 0
     # Sanity: the EDD bounds are schedulable for conformant inputs.
     assert edd_schedulable(
         [(TARGET_LOCAL, PAPER_PACKET_BITS),
-         (CROSS_LOCAL, PAPER_PACKET_BITS)], capacity=1.536e6)
+         (CROSS_LOCAL, PAPER_PACKET_BITS)], capacity=T1_RATE_BPS)
     outcomes: Dict[str, RegulatorOutcome] = {}
     for discipline in ("leave-in-time", "jitter-edd"):
         for cross_kind in ("conformant", "unpoliced"):

@@ -30,7 +30,7 @@ from repro.net.session import Session
 from repro.sched.leave_in_time import LeaveInTime
 from repro.sched.policy import constant_policy
 from repro.traffic.onoff import OnOffSource
-from repro.units import ms, to_ms
+from repro.units import kbps, ms, to_ms
 
 __all__ = ["SaturationRow", "SaturationResult", "run"]
 
@@ -84,7 +84,7 @@ def _run_point(d: float, *, duration: float, seed: int
     network.add_node("n1", LeaveInTime(), capacity=CAPACITY)
     entries = []
     for index in range(SESSIONS):
-        session = Session(f"s{index}", rate=32_000.0, route=["n1"],
+        session = Session(f"s{index}", rate=kbps(32), route=["n1"],
                           l_max=PACKET)
         session.set_policy("n1", constant_policy(d, l_max=PACKET))
         network.add_session(session, keep_samples=False)

@@ -9,6 +9,8 @@ delay bound (paper eq. 13)."""
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ConfigurationError
 
 __all__ = ["Link"]
@@ -20,12 +22,17 @@ class Link:
     __slots__ = ("capacity", "propagation")
 
     def __init__(self, capacity: float, propagation: float = 0.0) -> None:
-        if capacity <= 0:
+        # NaN fails every ordering comparison, so the sign checks alone
+        # would accept non-finite values and poison every L/C and Γ
+        # term downstream; reject them here (fail-loud).
+        if not math.isfinite(capacity) or capacity <= 0:
             raise ConfigurationError(
-                f"link capacity must be positive, got {capacity}")
-        if propagation < 0:
+                f"link capacity must be positive and finite, "
+                f"got {capacity}")
+        if not math.isfinite(propagation) or propagation < 0:
             raise ConfigurationError(
-                f"link propagation must be non-negative, got {propagation}")
+                f"link propagation must be non-negative and finite, "
+                f"got {propagation}")
         self.capacity = float(capacity)
         self.propagation = float(propagation)
 

@@ -24,7 +24,7 @@ from repro.errors import SimulationError
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.session import Session
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import PRIORITY_NORMAL, Simulator
 from repro.sim.monitor import TimeSeries
 from repro.sim.trace import Tracer
 
@@ -135,7 +135,12 @@ class ServerNode:
         self.tracer.emit(now, "tx_start", node=self.name,
                          session=packet.session.id, packet=packet.seq,
                          deadline=packet.deadline)
-        self.sim.schedule(transmission, self._finish_transmission, packet)
+        # Tie-break: NORMAL, so a completion coinciding with an arrival
+        # resolves by insertion order — the arrival was scheduled first
+        # and is processed first, which is the store-and-forward order
+        # the buffer-occupancy sampling assumes.
+        self.sim.schedule(transmission, self._finish_transmission, packet,
+                          priority=PRIORITY_NORMAL)
 
     def _finish_transmission(self, packet: Packet) -> None:
         now = self.sim.now
@@ -158,7 +163,12 @@ class ServerNode:
         if self.network is None:
             raise SimulationError(
                 f"node {self.name} is not attached to a network")
-        self.sim.schedule(self.link.propagation, self.network.deliver, packet)
+        # Tie-break: NORMAL. With zero propagation the delivery lands at
+        # this same instant; insertion order then runs it after this
+        # completion handler's _try_start below, i.e. the downstream
+        # arrival never preempts this node's own dequeue decision.
+        self.sim.schedule(self.link.propagation, self.network.deliver, packet,
+                          priority=PRIORITY_NORMAL)
         self._try_start()
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ class and ``ε = 0``).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
@@ -63,20 +64,27 @@ class Session:
                  jitter_control: bool = False,
                  token_bucket: Optional[tuple] = None,
                  monitor_buffer: bool = False) -> None:
-        if rate <= 0:
+        # NaN fails every ordering comparison, so `rate <= 0` alone
+        # would wave non-finite values straight into the deadline
+        # recursions; check finiteness explicitly (fail-loud, like the
+        # kernel does for negative delays).
+        if not math.isfinite(rate) or rate <= 0:
             raise ConfigurationError(
-                f"session {session_id!r}: rate must be positive, got {rate}")
+                f"session {session_id!r}: rate must be positive and "
+                f"finite, got {rate}")
         if not route:
             raise ConfigurationError(
                 f"session {session_id!r}: route must name at least one node")
         if len(set(route)) != len(route):
             raise ConfigurationError(
                 f"session {session_id!r}: route visits a node twice: {route}")
-        if l_max <= 0:
+        if not math.isfinite(l_max) or l_max <= 0:
             raise ConfigurationError(
-                f"session {session_id!r}: l_max must be positive, got {l_max}")
+                f"session {session_id!r}: l_max must be positive and "
+                f"finite, got {l_max}")
         resolved_l_min = l_max if l_min is None else l_min
-        if not 0 < resolved_l_min <= l_max:
+        if not math.isfinite(resolved_l_min) \
+                or not 0 < resolved_l_min <= l_max:
             raise ConfigurationError(
                 f"session {session_id!r}: need 0 < l_min <= l_max, got "
                 f"l_min={resolved_l_min}, l_max={l_max}")

@@ -22,6 +22,8 @@ __all__ = [
     "kbps",
     "Mbps",
     "to_ms",
+    "time_eq",
+    "TIME_EPSILON",
     "ATM_PACKET_BITS",
     "T1_RATE_BPS",
     "PAPER_PROPAGATION_S",
@@ -66,6 +68,25 @@ def Mbps(value: float) -> float:
 def to_ms(value_seconds: float) -> float:
     """Convert seconds to milliseconds (for reporting)."""
     return value_seconds * 1e3
+
+
+#: Tolerance for comparing simulated timestamps. One nanosecond of
+#: virtual time — far below any transmission or propagation quantum in
+#: the paper's scenarios (the shortest is 424/1536000 s ≈ 276 µs), yet
+#: far above accumulated double-precision noise over any feasible run.
+TIME_EPSILON = 1e-9
+
+
+def time_eq(a: float, b: float, tol: float = TIME_EPSILON) -> bool:
+    """Tolerance-based equality for simulated timestamps.
+
+    Timestamps in this codebase are *derived* floats (sums of
+    transmission times, deadline recursions, held-until instants), so
+    two mathematically equal instants routinely differ in the last few
+    ulps. Raw ``==`` on them is a latent heisenbug; the
+    ``float-time-equality`` lint rule points here instead.
+    """
+    return abs(a - b) <= tol
 
 
 #: Packet length used by every traffic source in the paper's simulations:

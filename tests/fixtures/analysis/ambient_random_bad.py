@@ -1,0 +1,10 @@
+"""Fixture: ambient RNG state. Never imported."""
+import random
+from random import randint  # line 3: no-ambient-random (import)
+
+
+def draw():
+    random.seed(7)  # line 7: no-ambient-random
+    value = random.random()  # line 8: no-ambient-random
+    rng = random.Random(42)  # line 9: no-ambient-random
+    return value, rng, randint

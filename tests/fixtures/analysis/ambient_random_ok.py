@@ -1,0 +1,14 @@
+"""Fixture: draws flow through a named substream. Never imported."""
+import random
+
+
+class Sampler:
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._rng.random()
+
+
+def build(streams):
+    return Sampler(streams.stream("onoff:a-j/3"))

@@ -1,0 +1,9 @@
+"""Fixture: raw float equality on simulated timestamps. Never imported."""
+
+
+def check(packet, now):
+    if packet.deadline == now:  # line 5: float-time-equality
+        return True
+    if packet.finish_time != packet.eligible_time:  # line 7
+        return False
+    return packet.arrival_time == 0.0  # line 9

@@ -1,0 +1,12 @@
+"""Fixture: tolerance and ordering comparisons on timestamps. Never imported."""
+from repro.units import time_eq
+
+
+def check(packet, now, kind, count):
+    if time_eq(packet.deadline, now):
+        return True
+    if packet.eligible_time <= now:
+        return False
+    if kind == "arrival":  # string tag, not a timestamp comparison
+        return True
+    return count == 0  # plain counter, not time-like

@@ -1,0 +1,13 @@
+"""Fixture: mutable default arguments. Never imported."""
+
+
+def collect(items=[]):  # line 4: mutable-default-arg
+    return items
+
+
+def index(*, mapping={}):  # line 8: mutable-default-arg
+    return mapping
+
+
+def gather(values=list()):  # line 12: mutable-default-arg
+    return values

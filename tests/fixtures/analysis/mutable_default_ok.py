@@ -1,0 +1,13 @@
+"""Fixture: immutable or sentinel defaults. Never imported."""
+
+
+def collect(items=None):
+    return [] if items is None else items
+
+
+def index(*, session_ids=frozenset()):
+    return session_ids
+
+
+def gather(values=()):
+    return values

@@ -1,0 +1,6 @@
+"""Fixture: net-layer schedule sites with implicit tie-break. Never imported."""
+
+
+def transmit(sim, delay, when, callback, packet):
+    sim.schedule(delay, callback, packet)  # line 5: untiebroken-event
+    sim.schedule_at(when, callback, packet)  # line 6: untiebroken-event

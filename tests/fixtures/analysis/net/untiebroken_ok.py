@@ -1,0 +1,8 @@
+"""Fixture: net-layer schedule sites with explicit tie-break. Never imported."""
+
+PRIORITY_NORMAL = 0
+
+
+def transmit(sim, delay, when, callback, packet):
+    sim.schedule(delay, callback, packet, priority=PRIORITY_NORMAL)
+    sim.schedule_at(when, callback, packet, priority=-1)

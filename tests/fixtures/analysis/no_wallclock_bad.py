@@ -1,0 +1,11 @@
+"""Fixture: wall-clock access in simulation code. Never imported."""
+import datetime
+import time
+from time import perf_counter  # line 4: no-wallclock (import)
+
+
+def stamp(sim):
+    started = time.time()  # line 8: no-wallclock
+    time.sleep(0.1)  # line 9: no-wallclock
+    moment = datetime.datetime.now()  # line 10: no-wallclock
+    return started, moment, perf_counter, sim

@@ -1,0 +1,7 @@
+"""Fixture: simulated time taken from the kernel clock. Never imported."""
+
+
+def stamp(sim, packet):
+    arrived = sim.now
+    packet.arrival_time = arrived
+    return arrived

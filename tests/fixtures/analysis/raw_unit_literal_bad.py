@@ -1,0 +1,9 @@
+"""Fixture: bare literals on unit-bearing parameters. Never imported."""
+
+
+def build(session_cls, source_cls, sim, callback, network, route):
+    session = session_cls("s", rate=32000.0, route=route,  # line 5: rate
+                          l_max=424)  # line 6: length
+    source_cls(network, session, spacing=13.25)  # line 7: time
+    sim.schedule(1.0, callback)  # line 8: positional delay
+    return session

@@ -1,0 +1,12 @@
+"""Fixture: units stated via helpers or named constants. Never imported."""
+from repro.units import kbit, kbps, ms, seconds
+
+RATE_BPS = kbps(32)
+
+
+def build(session_cls, source_cls, sim, callback, network, route):
+    session = session_cls("s", rate=RATE_BPS, route=route,
+                          l_max=kbit(0.424), warmup=0.0)
+    source_cls(network, session, spacing=ms(13.25))
+    sim.schedule(seconds(1.0), callback)
+    return session

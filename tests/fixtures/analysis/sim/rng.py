@@ -1,0 +1,6 @@
+"""Fixture: the one file allowed to construct generators (path-exempt)."""
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,11 @@
+"""Fixture: suppression comments. Never imported."""
+import random
+import time
+
+
+def measure():
+    a = time.time()  # repro: disable=no-wallclock -- fixture: justified
+    b = time.time()  # line 8: NOT suppressed
+    c = time.time() + random.random()  # repro: disable=no-wallclock,no-ambient-random
+    d = time.time()  # repro: disable=no-ambient-random (wrong rule id)
+    return a, b, c, d

@@ -1,0 +1,5 @@
+"""Fixture: implicit tie-break outside repro/net/ is allowed. Never imported."""
+
+
+def transmit(sim, delay, callback, packet):
+    sim.schedule(delay, callback, packet)

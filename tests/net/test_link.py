@@ -28,6 +28,21 @@ def test_rejects_non_positive_capacity():
         Link(-5.0)
 
 
+@pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                   float("-inf")])
+def test_rejects_non_finite_capacity(value):
+    # NaN fails every ordering comparison, so `capacity <= 0` alone
+    # would accept it and poison every L/C term downstream.
+    with pytest.raises(ConfigurationError):
+        Link(value)
+
+
+@pytest.mark.parametrize("value", [float("nan"), float("inf")])
+def test_rejects_non_finite_propagation(value):
+    with pytest.raises(ConfigurationError):
+        Link(1000.0, propagation=value)
+
+
 def test_rejects_negative_propagation():
     with pytest.raises(ConfigurationError):
         Link(1000.0, propagation=-0.001)

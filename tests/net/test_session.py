@@ -35,6 +35,24 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             make_session(l_min=1000.0)
 
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_rejects_non_finite_rate(self, value):
+        # NaN in particular fails every ordering comparison, so a
+        # plain `rate <= 0` check would silently accept it.
+        with pytest.raises(ConfigurationError):
+            make_session(rate=value)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_rejects_non_finite_l_max(self, value):
+        with pytest.raises(ConfigurationError):
+            make_session(l_max=value)
+
+    def test_rejects_non_finite_l_min(self):
+        with pytest.raises(ConfigurationError):
+            make_session(l_min=float("nan"))
+
     def test_l_min_defaults_to_l_max(self):
         assert make_session().l_min == 424.0
 

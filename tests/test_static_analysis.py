@@ -1,0 +1,28 @@
+"""Tier-1 gate: the source tree passes its own static analysis.
+
+Runs every registered DES-invariant rule over ``src/repro`` and fails
+on any unsuppressed violation. This is the enforcement point for the
+determinism/unit discipline documented in ``docs/static_analysis.md``:
+a regression here means some new code reads the wall clock, draws from
+ambient RNG state, compares timestamps with ``==``, passes unitless
+literals, or schedules net-layer events without a tie-break.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import analyze_paths, registered_rules, render_text
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def test_src_tree_passes_static_analysis():
+    rules = [cls() for cls in registered_rules().values()]
+    violations = analyze_paths([SRC_REPRO], rules)
+    assert not violations, (
+        "static analysis violations in src/repro "
+        "(fix them, or suppress with a justified '# repro: disable=' "
+        "comment — see docs/static_analysis.md):\n"
+        + render_text(violations))

@@ -19,6 +19,21 @@ class TestUnits:
         assert units.kbps(32) == 32_000.0
         assert units.Mbps(100) == 100_000_000.0
 
+    def test_time_eq_tolerates_float_noise(self):
+        # One T at 32 kbit/s accumulated two different ways: equal as
+        # instants, not necessarily as doubles.
+        spacing = units.ATM_PACKET_BITS / units.kbps(32)
+        accumulated = sum([spacing] * 7)
+        direct = 7 * spacing
+        assert units.time_eq(accumulated, direct)
+        assert units.time_eq(1.0, 1.0 + 0.5 * units.TIME_EPSILON)
+        assert not units.time_eq(1.0, 1.0 + units.ms(1))
+        assert not units.time_eq(0.0, 2 * units.TIME_EPSILON)
+
+    def test_time_eq_custom_tolerance(self):
+        assert units.time_eq(1.0, 1.001, tol=units.ms(2))
+        assert not units.time_eq(1.0, 1.001, tol=units.us(1))
+
     def test_paper_constants(self):
         assert units.ATM_PACKET_BITS == 424
         assert units.T1_RATE_BPS == 1_536_000.0
