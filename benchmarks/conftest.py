@@ -8,11 +8,18 @@ not statistical timing of a hot loop.
 Durations are laptop-friendly defaults; set ``REPRO_BENCH_DURATION``
 (seconds of simulated time) to lengthen runs toward the paper's 5-10
 minute horizons.
+
+Set ``REPRO_BENCH_JSON=1`` to additionally write one
+``BENCH_<name>.json`` telemetry record per benchmark via
+:mod:`repro.analysis.bench` (into ``REPRO_BENCH_DIR``, default cwd) —
+the same schema the ``python -m repro`` CLI emits.
 """
 
 import os
 
 import pytest
+
+from repro.analysis import bench
 
 
 def bench_duration(default: float) -> float:
@@ -22,10 +29,30 @@ def bench_duration(default: float) -> float:
 
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Run a zero-argument experiment exactly once under timing."""
 
     def runner(fn):
-        return benchmark.pedantic(fn, rounds=1, iterations=1)
+        if not bench.emission_enabled():
+            return benchmark.pedantic(fn, rounds=1, iterations=1)
+        watch = bench.Stopwatch()
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        wall = watch.elapsed()
+        name = request.node.name
+        if name.startswith("test_"):
+            name = name[len("test_"):]
+        network = getattr(result, "network", None)
+        events = (network.sim.events_dispatched
+                  if network is not None else 0)
+        record = bench.make_record(
+            name,
+            wall_time_s=wall,
+            events_dispatched=events,
+            workers=1,
+            simulated_s=float(getattr(result, "duration", 0.0)),
+            cells=1,
+        )
+        bench.emit(record)
+        return result
 
     return runner

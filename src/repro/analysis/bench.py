@@ -1,0 +1,194 @@
+"""Machine-readable performance telemetry: ``BENCH_<experiment>.json``.
+
+Every sweep executed through :mod:`repro.experiments.parallel` produces
+one :class:`BenchRecord` — wall time, events dispatched, events/sec,
+worker count, simulated horizon, and the git revision — and hands it to
+:func:`emit`.  Emission is off by default so test runs stay clean; it is
+switched on by the CLI (every ``python -m repro`` run writes a record)
+or by the ``REPRO_BENCH_JSON=1`` environment variable (the benchmark
+suite's opt-in).  ``REPRO_BENCH_DIR`` redirects the output directory.
+
+The JSON schema is flat and versioned::
+
+    {
+      "schema": 1,
+      "experiment": "fig07",
+      "wall_time_s": 12.34,
+      "events_dispatched": 1234567,
+      "events_per_sec": 100046.2,
+      "workers": 4,
+      "simulated_s": 140.0,
+      "cells": 7,
+      "git_rev": "d11f973"
+    }
+
+``simulated_s`` is the *total* simulated horizon across all cells of
+the sweep (duration × cells for a uniform sweep), so
+``simulated_s / wall_time_s`` is the aggregate real-time factor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ENV_ENABLE",
+    "ENV_DIR",
+    "BenchRecord",
+    "Stopwatch",
+    "git_rev",
+    "make_record",
+    "write_record",
+    "read_record",
+    "configure",
+    "emission_enabled",
+    "output_directory",
+    "emit",
+]
+
+#: Version stamped into every record; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: Setting this environment variable to anything but ""/"0" turns
+#: emission on without touching :func:`configure` (benchmark opt-in).
+ENV_ENABLE = "REPRO_BENCH_JSON"
+
+#: Output directory override; default is the current directory.
+ENV_DIR = "REPRO_BENCH_DIR"
+
+PathInput = Union[str, "os.PathLike[str]"]
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One experiment run's perf telemetry (see the schema above)."""
+
+    experiment: str
+    wall_time_s: float
+    events_dispatched: int
+    events_per_sec: float
+    workers: int
+    simulated_s: float
+    cells: int
+    git_rev: str
+    schema: int = SCHEMA_VERSION
+
+
+class Stopwatch:
+    """Real elapsed-time measurement, quarantined here on purpose.
+
+    Simulation code is forbidden from reading the wall clock (the
+    ``no-wallclock`` lint rule); perf telemetry is the one place that
+    genuinely measures real time, so the suppressed calls live in this
+    single class instead of being scattered across the runners.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()  # repro: disable=no-wallclock -- perf telemetry measures real elapsed time
+
+    def elapsed(self) -> float:
+        """Seconds of real time since construction."""
+        return time.perf_counter() - self._start  # repro: disable=no-wallclock -- perf telemetry measures real elapsed time
+
+
+def git_rev() -> str:
+    """Short git revision of the source tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def make_record(experiment: str, *, wall_time_s: float,
+                events_dispatched: int, workers: int,
+                simulated_s: float, cells: int) -> BenchRecord:
+    """Assemble a record, deriving events/sec and the git revision."""
+    rate = events_dispatched / wall_time_s if wall_time_s > 0 else 0.0
+    return BenchRecord(
+        experiment=experiment,
+        wall_time_s=wall_time_s,
+        events_dispatched=events_dispatched,
+        events_per_sec=rate,
+        workers=workers,
+        simulated_s=simulated_s,
+        cells=cells,
+        git_rev=git_rev(),
+    )
+
+
+def write_record(record: BenchRecord,
+                 directory: Optional[PathInput] = None) -> Path:
+    """Write ``BENCH_<experiment>.json``; return the path written."""
+    target_dir = Path(directory) if directory is not None \
+        else output_directory()
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / f"BENCH_{record.experiment}.json"
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(asdict(record), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def read_record(path: PathInput) -> BenchRecord:
+    """Load a record written by :func:`write_record` (schema-checked)."""
+    with Path(path).open(encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: BENCH schema {schema!r}, expected {SCHEMA_VERSION}")
+    return BenchRecord(**payload)
+
+
+# ----------------------------------------------------------------------
+# Emission switch
+# ----------------------------------------------------------------------
+_enabled: bool = False
+_directory: Optional[Path] = None
+
+
+def configure(enabled: bool = True,
+              directory: Optional[PathInput] = None) -> None:
+    """Turn programmatic emission on/off and pin the output directory.
+
+    Called by the CLI; tests reset with ``configure(enabled=False)``.
+    """
+    global _enabled, _directory
+    _enabled = enabled
+    _directory = Path(directory) if directory is not None else None
+
+
+def emission_enabled() -> bool:
+    """True when :func:`emit` should write (configure or env opt-in)."""
+    if _enabled:
+        return True
+    return os.environ.get(ENV_ENABLE, "") not in ("", "0")
+
+
+def output_directory() -> Path:
+    """Where records land: configured dir, ``REPRO_BENCH_DIR``, or cwd."""
+    if _directory is not None:
+        return _directory
+    env = os.environ.get(ENV_DIR)
+    return Path(env) if env else Path(".")
+
+
+def emit(record: BenchRecord) -> Optional[Path]:
+    """Write ``record`` if emission is enabled; return the path or None."""
+    if not emission_enabled():
+        return None
+    return write_record(record)

@@ -287,22 +287,29 @@ class RawUnitLiteral(Rule):
 
 @register
 class UntiebrokenEvent(Rule):
-    """Net-layer schedule sites must state their tie-break priority.
+    """Net- and sched-layer schedule sites must state their tie-break.
 
     The kernel orders simultaneous events by ``(priority, insertion
-    seq)`` and the network layer's correctness depends on which of two
+    seq)`` and the data path's correctness depends on which of two
     same-instant events runs first (e.g. a packet's arrival at a node
-    versus that node's transmitter looking for work).  An implicit
-    default priority at a ``net/`` call site means nobody decided — the
-    tie order is load-bearing, so write it down.
+    versus that node's transmitter looking for work, or a regulator
+    release versus a transmission completion).  An implicit default
+    priority at a ``net/`` or ``sched/`` call site means nobody
+    decided — the tie order is load-bearing, so write it down.
     """
 
     id = "untiebroken-event"
-    description = ("schedule()/schedule_at() in repro/net/ without an "
-                   "explicit priority= tie-break")
+    description = ("schedule()/schedule_at() in repro/net/ or "
+                   "repro/sched/ without an explicit priority= "
+                   "tie-break")
+
+    #: Path components whose schedule sites must pin the tie order:
+    #: the network data path and every service discipline (regulator
+    #: releases and frame boundaries race packet events).
+    _SCOPES: Tuple[str, ...] = ("net", "sched")
 
     def check(self, context: FileContext) -> Iterator[Violation]:
-        if not context.is_under("net"):
+        if not any(context.is_under(scope) for scope in self._SCOPES):
             return
         for node in context.walk():
             if not isinstance(node, ast.Call):
@@ -316,8 +323,9 @@ class UntiebrokenEvent(Rule):
             yield self.violation(
                 context, node,
                 f"{func.attr}() without an explicit priority=; event "
-                f"tie order is load-bearing in the net layer — state "
-                f"the tie-break (PRIORITY_NORMAL if ties are benign)")
+                f"tie order is load-bearing in the net and sched "
+                f"layers — state the tie-break (PRIORITY_NORMAL if "
+                f"ties are benign)")
 
 
 @register

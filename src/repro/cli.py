@@ -6,17 +6,26 @@ Examples::
     leave-in-time figure09 --duration 60 --seed 3
     leave-in-time section4
     leave-in-time all --duration 10        # quick pass over everything
+    leave-in-time figure07 --workers 4     # shard the sweep
     python -m repro figure08               # equivalent module form
 
 Durations default to laptop-friendly values; pass ``--full`` for the
-paper's 5- or 10-minute horizons (slow in pure Python).
+paper's 5- or 10-minute horizons (slow in pure Python). Sweeps shard
+their cells across ``--workers`` processes (default: all cores but
+one); the merged tables are bit-identical to a serial run. Every run
+writes a ``BENCH_<experiment>.json`` telemetry record (see
+``repro.analysis.bench``) into ``--bench-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, Optional
+
+from repro.analysis import bench
+from repro.experiments.parallel import default_workers
 
 from repro.experiments import (
     ablation,
@@ -79,18 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write plot-ready CSV files into DIR "
                              "(for experiments that support export)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes to shard sweep cells across "
+                             "(default: all cores but one); results "
+                             "are identical at any worker count")
+    parser.add_argument("--bench-dir", metavar="DIR", default=None,
+                        help="directory for BENCH_<experiment>.json "
+                             "telemetry records (default: cwd)")
     return parser
 
 
 def _run_simulated(name: str, duration: Optional[float], seed: int,
-                   full: bool, csv_dir: Optional[str]) -> str:
+                   full: bool, csv_dir: Optional[str],
+                   workers: Optional[int]) -> str:
     runner, paper_duration = _SIMULATED[name]
     if duration is None:
         duration = paper_duration if full else None
-    if duration is None:
-        result = runner(seed=seed)
-    else:
-        result = runner(duration=duration, seed=seed)
+    kwargs: Dict[str, object] = {"seed": seed}
+    if duration is not None:
+        kwargs["duration"] = duration
+    # Not every runner shards (and tests monkeypatch plain fakes in).
+    if "workers" in inspect.signature(runner).parameters:
+        kwargs["workers"] = workers
+    result = runner(**kwargs)
     _maybe_export(name, result, csv_dir)
     return result.table()
 
@@ -111,6 +131,9 @@ def _maybe_export(name: str, result, csv_dir: Optional[str]) -> None:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    workers = args.workers if args.workers is not None \
+        else default_workers()
+    bench.configure(enabled=True, directory=args.bench_dir)
     names = (sorted(_SIMULATED) + sorted(_ANALYTIC)
              if args.experiment == "all" else [args.experiment])
     for name in names:
@@ -118,7 +141,7 @@ def main(argv: Optional[list] = None) -> int:
             print(_ANALYTIC[name]().table())
         else:
             print(_run_simulated(name, args.duration, args.seed,
-                                 args.full, args.csv))
+                                 args.full, args.csv, workers))
         print()
     return 0
 

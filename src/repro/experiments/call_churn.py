@@ -30,14 +30,15 @@ from repro.admission.procedure1 import Procedure1
 from repro.analysis.report import format_table
 from repro.bounds.delay import compute_session_bounds
 from repro.errors import AdmissionError
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.session import Session
 from repro.net.topology import build_paper_network
 from repro.sched.leave_in_time import LeaveInTime
 from repro.sim.rng import ExponentialSampler
 from repro.traffic.onoff import OnOffSource
-from repro.units import ms, seconds, to_ms
+from repro.units import ms, to_ms
 
-__all__ = ["CallRecord", "CallChurnResult", "run"]
+__all__ = ["CallRecord", "CallChurnResult", "cells", "run"]
 
 FIVE_HOP = ("n1", "n2", "n3", "n4", "n5")
 RATE = 32_000.0
@@ -160,16 +161,10 @@ class _ChurnDriver:
                       if c.call_id == call_id)
         self._harvest(record, session)
         record.ended_at = self.network.sim.now
-        # Tear scheduler/node state down once the call's last packets
-        # have drained (a second is far beyond any delay bound here).
-        self.network.sim.schedule(seconds(1.0), self._cleanup, session.id)
-
-    def _cleanup(self, session_id: str) -> None:
-        from repro.errors import ReproError
-        try:
-            self.network.remove_session(session_id)
-        except ReproError:  # pragma: no cover - drain race; retry once
-            self.network.sim.schedule(seconds(1.0), self._cleanup, session_id)
+        # Tear the call down immediately, even with packets still in
+        # flight: remove_session drains then forgets, so no deferred
+        # cleanup-and-retry dance is needed.
+        self.network.remove_session(session.id, keep_sink=False)
 
     def _harvest(self, record: CallRecord, session: Session) -> None:
         sink = self.network.sinks[session.id]
@@ -184,14 +179,9 @@ class _ChurnDriver:
             self._harvest(record, session)
 
 
-def run(*, duration: float = 60.0, seed: int = 0,
-        offered_erlangs: float = 60.0,
-        mean_holding: float = 10.0) -> CallChurnResult:
-    """Drive Poisson call arrivals at ``offered_erlangs`` of load.
-
-    Offered load in erlangs = arrival rate × mean holding; with 48
-    trunks per link, 60 erlangs gives substantial blocking.
-    """
+def _cell(*, duration: float, seed: int, offered_erlangs: float,
+          mean_holding: float) -> CellOutput:
+    """The single call-churn cell: one network, one churn driver."""
     network = build_paper_network(LeaveInTime, seed=seed)
     controller = AdmissionController(
         network,
@@ -207,6 +197,32 @@ def run(*, duration: float = 60.0, seed: int = 0,
     driver.start()
     network.run(duration)
     driver.finish()
+    return cell_output(network, result, duration)
+
+
+def cells(*, duration: float, seed: int, offered_erlangs: float,
+          mean_holding: float) -> List[Cell]:
+    """One declarative cell; single-cell sweeps always run in-process."""
+    return [Cell(label="call_churn", fn=_cell,
+                 kwargs={"duration": duration, "seed": seed,
+                         "offered_erlangs": offered_erlangs,
+                         "mean_holding": mean_holding})]
+
+
+def run(*, duration: float = 60.0, seed: int = 0,
+        offered_erlangs: float = 60.0, mean_holding: float = 10.0,
+        workers: Optional[int] = 1) -> CallChurnResult:
+    """Drive Poisson call arrivals at ``offered_erlangs`` of load.
+
+    Offered load in erlangs = arrival rate × mean holding; with 48
+    trunks per link, 60 erlangs gives substantial blocking.
+    """
+    (result,) = run_cells(
+        "call_churn",
+        cells(duration=duration, seed=seed,
+              offered_erlangs=offered_erlangs,
+              mean_holding=mean_holding),
+        workers=workers)
     return result
 
 

@@ -33,6 +33,7 @@ from repro.experiments.common import (
     add_poisson_cross_traffic,
     build_cross_network,
 )
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.network import Network
 from repro.net.route import route_from_letters
 from repro.net.session import Session
@@ -97,31 +98,19 @@ class DistributionResult:
                   f"{self.utilization:.2f} ({self.duration:.0f}s)")
 
 
-def run_distribution_experiment(
-        *, figure: str,
-        target_mean_interarrival: float,
-        target_rate: float,
-        cross_kind: str,
-        cross_rate: float = 0.0,
-        cross_mean: float = 0.0,
-        deterministic_cross_count: int = 0,
-        deterministic_cross_rate: float = 0.0,
-        stagger_cross: bool = False,
-        duration: float = 60.0,
-        seed: int = 0,
-        delay_grid_ms: Optional[Sequence[float]] = None
-        ) -> DistributionResult:
-    """Run one of the Figure-9/10/11 experiments.
-
-    ``cross_kind`` is ``"poisson"`` (Figs. 9-10: one Poisson session
-    per one-hop route) or ``"deterministic"`` (Fig. 11: N fixed-rate
-    sessions per one-hop route). Deterministic cross sources fire in
-    phase by default — the adversarial alignment that pushes the
-    measured distribution toward the analytical bound, which is the
-    point of Figure 11; ``stagger_cross=True`` spreads their phases
-    evenly instead (a best case that shows how benign the same load
-    can be).
-    """
+def _cell(*, figure: str,
+          target_mean_interarrival: float,
+          target_rate: float,
+          cross_kind: str,
+          cross_rate: float,
+          cross_mean: float,
+          deterministic_cross_count: int,
+          deterministic_cross_rate: float,
+          stagger_cross: bool,
+          duration: float,
+          seed: int,
+          delay_grid_ms: Optional[Sequence[float]]) -> CellOutput:
+    """The single distribution cell (the result holds the network)."""
     network = build_cross_network(seed=seed)
     target = Session(TARGET_SESSION, rate=target_rate, route=FIVE_HOP,
                      l_max=PAPER_PACKET_BITS)
@@ -176,7 +165,7 @@ def run_distribution_experiment(
         lambda d: float(ccdf_at(ref_samples, [d])[0]),
         bounds.shift, grid_s)
 
-    return DistributionResult(
+    result = DistributionResult(
         figure=figure,
         duration=duration,
         seed=seed,
@@ -189,3 +178,49 @@ def run_distribution_experiment(
         simulated_bound=simulated,
         packets=sink.received,
     )
+    return cell_output(network, result, duration)
+
+
+def run_distribution_experiment(
+        *, figure: str,
+        target_mean_interarrival: float,
+        target_rate: float,
+        cross_kind: str,
+        cross_rate: float = 0.0,
+        cross_mean: float = 0.0,
+        deterministic_cross_count: int = 0,
+        deterministic_cross_rate: float = 0.0,
+        stagger_cross: bool = False,
+        duration: float = 60.0,
+        seed: int = 0,
+        delay_grid_ms: Optional[Sequence[float]] = None,
+        workers: Optional[int] = 1,
+        bench_name: str = "distribution") -> DistributionResult:
+    """Run one of the Figure-9/10/11 experiments.
+
+    ``cross_kind`` is ``"poisson"`` (Figs. 9-10: one Poisson session
+    per one-hop route) or ``"deterministic"`` (Fig. 11: N fixed-rate
+    sessions per one-hop route). Deterministic cross sources fire in
+    phase by default — the adversarial alignment that pushes the
+    measured distribution toward the analytical bound, which is the
+    point of Figure 11; ``stagger_cross=True`` spreads their phases
+    evenly instead (a best case that shows how benign the same load
+    can be). ``bench_name`` labels the BENCH record each figure module
+    emits under its own name.
+    """
+    cell = Cell(label=bench_name, fn=_cell, kwargs={
+        "figure": figure,
+        "target_mean_interarrival": target_mean_interarrival,
+        "target_rate": target_rate,
+        "cross_kind": cross_kind,
+        "cross_rate": cross_rate,
+        "cross_mean": cross_mean,
+        "deterministic_cross_count": deterministic_cross_count,
+        "deterministic_cross_rate": deterministic_cross_rate,
+        "stagger_cross": stagger_cross,
+        "duration": duration,
+        "seed": seed,
+        "delay_grid_ms": delay_grid_ms,
+    })
+    (result,) = run_cells(bench_name, [cell], workers=workers)
+    return result

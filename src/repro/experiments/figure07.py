@@ -12,14 +12,16 @@ jitter) and nearly flat in utilization — the isolation property.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.bounds.delay import compute_session_bounds
 from repro.experiments.common import PAPER_A_OFF_SWEEP_S, build_mix_network
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.units import to_ms
 
-__all__ = ["Figure7Row", "Figure7Result", "run", "TARGET_SESSION"]
+__all__ = ["Figure7Row", "Figure7Result", "cells", "run",
+           "TARGET_SESSION"]
 
 #: The monitored five-hop session.
 TARGET_SESSION = "a-j/1"
@@ -65,29 +67,48 @@ class Figure7Result:
         write_rows_csv(path, self.rows)
 
 
+def _cell(*, a_off: float, duration: float, seed: int) -> CellOutput:
+    """One sweep cell: a fully isolated MIX simulation at one a_OFF."""
+    network = build_mix_network(a_off, seed=seed)
+    network.run(duration)
+    sink = network.sink(TARGET_SESSION)
+    bounds = compute_session_bounds(
+        network, network.sessions[TARGET_SESSION])
+    # Utilization at the first node, as a load indicator.
+    utilization = network.node("n1").utilization()
+    row = Figure7Row(
+        a_off_ms=to_ms(a_off),
+        utilization=round(utilization, 3),
+        packets=sink.received,
+        max_delay_ms=to_ms(sink.max_delay),
+        jitter_ms=to_ms(sink.jitter),
+        delay_bound_ms=to_ms(bounds.max_delay),
+        jitter_bound_ms=to_ms(bounds.jitter),
+    )
+    return cell_output(network, row, duration)
+
+
+def cells(*, duration: float, seed: int,
+          a_off_values: Sequence[float]) -> List[Cell]:
+    """The declarative sweep: one cell per a_OFF value."""
+    return [Cell(label=f"fig07[a_off={to_ms(a_off):g}ms]", fn=_cell,
+                 kwargs={"a_off": a_off, "duration": duration,
+                         "seed": seed})
+            for a_off in a_off_values]
+
+
 def run(*, duration: float = 20.0, seed: int = 0,
-        a_off_values: Sequence[float] = PAPER_A_OFF_SWEEP_S
-        ) -> Figure7Result:
-    """Run the sweep; one full MIX simulation per a_OFF value."""
-    result = Figure7Result(duration=duration, seed=seed)
-    for a_off in a_off_values:
-        network = build_mix_network(a_off, seed=seed)
-        network.run(duration)
-        sink = network.sink(TARGET_SESSION)
-        bounds = compute_session_bounds(
-            network, network.sessions[TARGET_SESSION])
-        # Utilization at the first node, as a load indicator.
-        utilization = network.node("n1").utilization()
-        result.rows.append(Figure7Row(
-            a_off_ms=to_ms(a_off),
-            utilization=round(utilization, 3),
-            packets=sink.received,
-            max_delay_ms=to_ms(sink.max_delay),
-            jitter_ms=to_ms(sink.jitter),
-            delay_bound_ms=to_ms(bounds.max_delay),
-            jitter_bound_ms=to_ms(bounds.jitter),
-        ))
-    return result
+        a_off_values: Sequence[float] = PAPER_A_OFF_SWEEP_S,
+        workers: Optional[int] = 1) -> Figure7Result:
+    """Run the sweep; one full MIX simulation per a_OFF value.
+
+    ``workers`` shards the sweep cells across processes; the merged
+    result is bit-identical to the serial ``workers=1`` run.
+    """
+    rows = run_cells("fig07", cells(duration=duration, seed=seed,
+                                    a_off_values=a_off_values),
+                     workers=workers)
+    return Figure7Result(duration=duration, seed=seed, rows=rows)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -11,7 +11,7 @@ session's delays concentrated near the delay bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,10 +23,12 @@ from repro.experiments.common import (
     add_poisson_cross_traffic,
     build_cross_network,
 )
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.network import Network
 from repro.units import ms, to_ms
 
-__all__ = ["Figure8Result", "run", "SESSION_NO_CONTROL", "SESSION_CONTROL"]
+__all__ = ["Figure8Result", "cells", "run",
+           "SESSION_NO_CONTROL", "SESSION_CONTROL"]
 
 SESSION_NO_CONTROL = "onoff-nojc"
 SESSION_CONTROL = "onoff-jc"
@@ -108,13 +110,9 @@ class Figure8Result:
                   f"({self.duration:.0f}s, seed {self.seed})")
 
 
-def run(*, duration: float = 60.0, seed: int = 0,
-        monitor_buffers: bool = False) -> Figure8Result:
-    """Run the Figure-8 experiment (also the base of Figures 12-13).
-
-    ``monitor_buffers=True`` additionally samples the two target
-    sessions' buffer occupancy at every node.
-    """
+def _cell(*, duration: float, seed: int,
+          monitor_buffers: bool) -> CellOutput:
+    """The single Figure-8 cell (the result holds the live network)."""
     network = build_cross_network(seed=seed)
     no_control = add_onoff_session(
         network, SESSION_NO_CONTROL, FIVE_HOP, A_OFF,
@@ -126,13 +124,40 @@ def run(*, duration: float = 60.0, seed: int = 0,
         monitor_buffer=monitor_buffers)
     add_poisson_cross_traffic(network)
     network.run(duration)
-    return Figure8Result(
+    result = Figure8Result(
         duration=duration,
         seed=seed,
         network=network,
         bounds_no_control=compute_session_bounds(network, no_control),
         bounds_control=compute_session_bounds(network, control),
     )
+    return cell_output(network, result, duration)
+
+
+def cells(*, duration: float, seed: int,
+          monitor_buffers: bool) -> List[Cell]:
+    """One declarative cell; single-cell sweeps always run in-process."""
+    return [Cell(label="fig08", fn=_cell,
+                 kwargs={"duration": duration, "seed": seed,
+                         "monitor_buffers": monitor_buffers})]
+
+
+def run(*, duration: float = 60.0, seed: int = 0,
+        monitor_buffers: bool = False, workers: Optional[int] = 1,
+        bench_name: str = "fig08") -> Figure8Result:
+    """Run the Figure-8 experiment (also the base of Figures 12-13).
+
+    ``monitor_buffers=True`` additionally samples the two target
+    sessions' buffer occupancy at every node. ``bench_name`` labels
+    the BENCH record (Figures 12-13 reuse this run under their own
+    name).
+    """
+    (result,) = run_cells(
+        bench_name,
+        cells(duration=duration, seed=seed,
+              monitor_buffers=monitor_buffers),
+        workers=workers)
+    return result
 
 
 def main() -> None:  # pragma: no cover - CLI entry

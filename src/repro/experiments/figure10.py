@@ -8,6 +8,8 @@ grows as d_max = L/r inflates), yet still valid.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.experiments.common import (
@@ -26,7 +28,8 @@ TARGET_MEAN_S = 40e-3
 TARGET_RATE_BPS = kbps(32)
 
 
-def run(*, duration: float = 60.0, seed: int = 0) -> DistributionResult:
+def run(*, duration: float = 60.0, seed: int = 0,
+        workers: Optional[int] = 1) -> DistributionResult:
     return run_distribution_experiment(
         figure="Figure 10",
         target_mean_interarrival=TARGET_MEAN_S,
@@ -37,6 +40,8 @@ def run(*, duration: float = 60.0, seed: int = 0) -> DistributionResult:
         duration=duration,
         seed=seed,
         delay_grid_ms=np.linspace(0.0, 160.0, 81),
+        workers=workers,
+        bench_name="fig10",
     )
 
 

@@ -9,6 +9,8 @@ reflects the benign cross traffic there, not slack in the analysis.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.experiments.delay_distribution import (
@@ -25,7 +27,8 @@ CROSS_COUNT = 47
 CROSS_RATE_BPS = kbps(32)
 
 
-def run(*, duration: float = 60.0, seed: int = 0) -> DistributionResult:
+def run(*, duration: float = 60.0, seed: int = 0,
+        workers: Optional[int] = 1) -> DistributionResult:
     return run_distribution_experiment(
         figure="Figure 11",
         target_mean_interarrival=TARGET_MEAN_S,
@@ -36,6 +39,8 @@ def run(*, duration: float = 60.0, seed: int = 0) -> DistributionResult:
         duration=duration,
         seed=seed,
         delay_grid_ms=np.linspace(0.0, 160.0, 81),
+        workers=workers,
+        bench_name="fig11",
     )
 
 

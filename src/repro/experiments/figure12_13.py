@@ -15,7 +15,7 @@ regulators restore the entry traffic shape at every hop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.buffers import BufferDistribution, buffer_distribution
 from repro.analysis.report import format_table
@@ -68,9 +68,11 @@ class BufferFigureResult:
                   f"({self.duration:.0f}s, seed {self.seed})")
 
 
-def run(*, duration: float = 60.0, seed: int = 0) -> BufferFigureResult:
+def run(*, duration: float = 60.0, seed: int = 0,
+        workers: Optional[int] = 1) -> BufferFigureResult:
     base = figure08.run(duration=duration, seed=seed,
-                        monitor_buffers=True)
+                        monitor_buffers=True, workers=workers,
+                        bench_name="fig12_13")
     network = base.network
     distributions: Dict[Tuple[str, str], BufferDistribution] = {}
     bounds_bits: Dict[Tuple[str, str], float] = {}

@@ -27,7 +27,7 @@ tests pass with no slack, which this module asserts by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.admission.classes import DelayClass
 from repro.admission.controller import AdmissionController
@@ -35,9 +35,10 @@ from repro.admission.procedure2 import Procedure2
 from repro.analysis.report import format_table
 from repro.bounds.delay import compute_session_bounds
 from repro.experiments.common import PAPER_A_OFF_SWEEP_S, build_mix_network
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.units import kbps, ms, to_ms
 
-__all__ = ["TwoClassRow", "TwoClassResult", "run",
+__all__ = ["TwoClassRow", "TwoClassResult", "cells", "run",
            "TARGETS", "CLASS1_IDS"]
 
 #: The two-class menu of the paper's procedure-2 experiment.
@@ -120,46 +121,65 @@ def class_of(session_id: str) -> int:
     return 1 if session_id in CLASS1_IDS else 2
 
 
-def run(*, duration: float = 20.0, seed: int = 0,
-        a_off_values: Sequence[float] = PAPER_A_OFF_SWEEP_S
-        ) -> TwoClassResult:
-    result = TwoClassResult(duration=duration, seed=seed)
+def _cell(*, a_off: float, duration: float,
+          seed: int) -> CellOutput:
+    """One sweep cell: the ACP2 MIX run at one a_OFF, all four targets."""
     jitter_ids = {sid for sid, jc in TARGETS.values() if jc}
     sample_ids = {sid for sid, _ in TARGETS.values()}
+    controller_box = {}
 
-    for a_off in a_off_values:
-        controller_box = {}
+    def admit(network, session):
+        controller = controller_box.get("controller")
+        if controller is None:
+            controller = AdmissionController(
+                network,
+                lambda node: Procedure2(node.link.capacity, CLASSES))
+            controller_box["controller"] = controller
+        controller.admit(session, class_number=class_of(session.id))
 
-        def admit(network, session):
-            controller = controller_box.get("controller")
-            if controller is None:
-                controller = AdmissionController(
-                    network,
-                    lambda node: Procedure2(node.link.capacity, CLASSES))
-                controller_box["controller"] = controller
-            controller.admit(session, class_number=class_of(session.id))
+    network = build_mix_network(a_off, seed=seed,
+                                jitter_ids=jitter_ids,
+                                sample_ids=sample_ids,
+                                admit=admit)
+    network.run(duration)
+    rows = []
+    for figure, (session_id, jitter_control) in TARGETS.items():
+        sink = network.sink(session_id)
+        bounds = compute_session_bounds(
+            network, network.sessions[session_id])
+        rows.append(TwoClassRow(
+            figure=figure,
+            session_id=session_id,
+            class_number=class_of(session_id),
+            jitter_control=jitter_control,
+            a_off_ms=to_ms(a_off),
+            packets=sink.received,
+            max_delay_ms=to_ms(sink.max_delay),
+            jitter_ms=to_ms(sink.jitter),
+            delay_bound_ms=to_ms(bounds.max_delay),
+            jitter_bound_ms=to_ms(bounds.jitter),
+        ))
+    return cell_output(network, rows, duration)
 
-        network = build_mix_network(a_off, seed=seed,
-                                    jitter_ids=jitter_ids,
-                                    sample_ids=sample_ids,
-                                    admit=admit)
-        network.run(duration)
-        for figure, (session_id, jitter_control) in TARGETS.items():
-            sink = network.sink(session_id)
-            bounds = compute_session_bounds(
-                network, network.sessions[session_id])
-            result.rows.append(TwoClassRow(
-                figure=figure,
-                session_id=session_id,
-                class_number=class_of(session_id),
-                jitter_control=jitter_control,
-                a_off_ms=to_ms(a_off),
-                packets=sink.received,
-                max_delay_ms=to_ms(sink.max_delay),
-                jitter_ms=to_ms(sink.jitter),
-                delay_bound_ms=to_ms(bounds.max_delay),
-                jitter_bound_ms=to_ms(bounds.jitter),
-            ))
+
+def cells(*, duration: float, seed: int,
+          a_off_values: Sequence[float]) -> List[Cell]:
+    """The declarative sweep: one cell per a_OFF value."""
+    return [Cell(label=f"fig14_17[a_off={to_ms(a_off):g}ms]", fn=_cell,
+                 kwargs={"a_off": a_off, "duration": duration,
+                         "seed": seed})
+            for a_off in a_off_values]
+
+
+def run(*, duration: float = 20.0, seed: int = 0,
+        a_off_values: Sequence[float] = PAPER_A_OFF_SWEEP_S,
+        workers: Optional[int] = 1) -> TwoClassResult:
+    result = TwoClassResult(duration=duration, seed=seed)
+    for rows in run_cells("fig14_17",
+                          cells(duration=duration, seed=seed,
+                                a_off_values=a_off_values),
+                          workers=workers):
+        result.rows.extend(rows)
     return result
 
 

@@ -22,10 +22,11 @@ The crossover the figure shows: per-hop cost drops from ~14.5 ms to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.bounds.delay import compute_session_bounds
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.network import Network
 from repro.net.session import Session
 from repro.sched.leave_in_time import LeaveInTime
@@ -33,7 +34,7 @@ from repro.sched.policy import constant_policy
 from repro.traffic.onoff import OnOffSource
 from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS, kbps, ms, to_ms
 
-__all__ = ["HopScalingRow", "HopScalingResult", "run"]
+__all__ = ["HopScalingRow", "HopScalingResult", "cells", "run"]
 
 RATE = 32_000.0
 PACKET = 424.0
@@ -78,8 +79,9 @@ class HopScalingResult:
                   f"({self.duration:.0f}s)")
 
 
-def _run_tandem(hops: int, *, shifted_d: float | None, duration: float,
-                seed: int) -> HopScalingRow:
+def _cell(*, hops: int, shifted_d: Optional[float], duration: float,
+          seed: int) -> CellOutput:
+    """One sweep cell: a tandem of ``hops`` nodes in one mode."""
     network = Network(seed=seed)
     route = []
     for index in range(1, hops + 1):
@@ -112,27 +114,44 @@ def _run_tandem(hops: int, *, shifted_d: float | None, duration: float,
     network.run(duration)
     bounds = compute_session_bounds(network, target)
     sink = network.sink("target")
-    return HopScalingRow(hops=hops, mode=mode,
-                         max_delay_ms=to_ms(sink.max_delay),
-                         bound_ms=to_ms(bounds.max_delay))
+    row = HopScalingRow(hops=hops, mode=mode,
+                        max_delay_ms=to_ms(sink.max_delay),
+                        bound_ms=to_ms(bounds.max_delay))
+    return cell_output(network, row, duration)
+
+
+def cells(*, duration: float, seed: int, hop_counts: Sequence[int],
+          shifted_d: float) -> List[Cell]:
+    """The declarative sweep: both modes at every tandem length."""
+    built: List[Cell] = []
+    for hops in hop_counts:
+        for mode, d in (("virtual-clock", None), ("shifted", shifted_d)):
+            built.append(Cell(
+                label=f"hop_scaling[hops={hops},{mode}]", fn=_cell,
+                kwargs={"hops": hops, "shifted_d": d,
+                        "duration": duration, "seed": seed}))
+    return built
 
 
 def run(*, duration: float = 15.0, seed: int = 0,
         hop_counts: Sequence[int] = (1, 2, 4, 6, 8),
-        shifted_d: float = ms(2.0)) -> HopScalingResult:
+        shifted_d: float = ms(2.0),
+        workers: Optional[int] = 1) -> HopScalingResult:
     """Measure both modes across tandem lengths.
 
     ``shifted_d`` must respect the eq.-19 feasibility at each node for
     the offered load; 2 ms is comfortably feasible for the background
-    used here (Σ L_max/C ≈ 1.1 ms per node).
+    used here (Σ L_max/C ≈ 1.1 ms per node). ``workers`` shards the
+    cells across processes; the merged result is bit-identical to the
+    serial ``workers=1`` run.
     """
     result = HopScalingResult(duration=duration, seed=seed,
                               shifted_d=shifted_d)
-    for hops in hop_counts:
-        result.rows.append(_run_tandem(hops, shifted_d=None,
-                                       duration=duration, seed=seed))
-        result.rows.append(_run_tandem(hops, shifted_d=shifted_d,
-                                       duration=duration, seed=seed))
+    result.rows.extend(run_cells(
+        "hop_scaling",
+        cells(duration=duration, seed=seed, hop_counts=hop_counts,
+              shifted_d=shifted_d),
+        workers=workers))
     return result
 
 

@@ -28,10 +28,11 @@ traffic its schedulability assumption breaks and so does its bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table
 from repro.bounds.delay import compute_session_bounds
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.experiments.common import (
     PAPER_CROSS_POISSON_MEAN_S,
     PAPER_CROSS_POISSON_RATE_BPS,
@@ -47,7 +48,8 @@ from repro.sched.leave_in_time import LeaveInTime
 from repro.traffic.deterministic import DeterministicSource
 from repro.units import T1_RATE_BPS, ms, to_ms
 
-__all__ = ["RegulatorOutcome", "RegulatorComparisonResult", "run"]
+__all__ = ["RegulatorOutcome", "RegulatorComparisonResult", "cells",
+           "run"]
 
 TARGET = "onoff-target"
 FIVE_HOP = ("n1", "n2", "n3", "n4", "n5")
@@ -122,8 +124,9 @@ def _add_cross(network, kind: str) -> None:
                             interval=CROSS_SPACING)
 
 
-def _run_one(discipline: str, cross_kind: str, *, duration: float,
-             seed: int) -> RegulatorOutcome:
+def _cell(*, discipline: str, cross_kind: str, duration: float,
+          seed: int) -> CellOutput:
+    """One cell: the five-hop target under one (discipline, cross)."""
     factory = LeaveInTime if discipline == "leave-in-time" \
         else _edd_factory
     network = build_paper_network(factory, seed=seed)
@@ -138,25 +141,36 @@ def _run_one(discipline: str, cross_kind: str, *, duration: float,
         # Jitter-EDD: end-to-end jitter collapses to last-node
         # variation, bounded by the local delay bound there.
         bound = TARGET_LOCAL
-    return RegulatorOutcome(
+    outcome = RegulatorOutcome(
         discipline=discipline, cross_kind=cross_kind,
         packets=sink.received, mean_ms=to_ms(sink.delay.mean),
         max_ms=to_ms(sink.max_delay), jitter_ms=to_ms(sink.jitter),
         jitter_bound_ms=to_ms(bound))
+    return cell_output(network, outcome, duration)
 
 
-def run(*, duration: float = 30.0, seed: int = 0
-        ) -> RegulatorComparisonResult:
+def cells(*, duration: float, seed: int) -> List[Cell]:
+    """The declarative grid: discipline × cross-traffic kind."""
+    return [Cell(label=f"regulator[{discipline}/{cross_kind}]",
+                 fn=_cell,
+                 kwargs={"discipline": discipline,
+                         "cross_kind": cross_kind,
+                         "duration": duration, "seed": seed})
+            for discipline in ("leave-in-time", "jitter-edd")
+            for cross_kind in ("conformant", "unpoliced")]
+
+
+def run(*, duration: float = 30.0, seed: int = 0,
+        workers: Optional[int] = 1) -> RegulatorComparisonResult:
     # Sanity: the EDD bounds are schedulable for conformant inputs.
     assert edd_schedulable(
         [(TARGET_LOCAL, PAPER_PACKET_BITS),
          (CROSS_LOCAL, PAPER_PACKET_BITS)], capacity=T1_RATE_BPS)
     outcomes: Dict[str, RegulatorOutcome] = {}
-    for discipline in ("leave-in-time", "jitter-edd"):
-        for cross_kind in ("conformant", "unpoliced"):
-            outcome = _run_one(discipline, cross_kind,
-                               duration=duration, seed=seed)
-            outcomes[f"{discipline}/{cross_kind}"] = outcome
+    for outcome in run_cells("regulator_comparison",
+                             cells(duration=duration, seed=seed),
+                             workers=workers):
+        outcomes[f"{outcome.discipline}/{outcome.cross_kind}"] = outcome
     return RegulatorComparisonResult(duration=duration, seed=seed,
                                      outcomes=outcomes)
 

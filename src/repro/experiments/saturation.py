@@ -21,10 +21,11 @@ phase transition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.admission.procedure3 import subsets_feasible
 from repro.analysis.report import format_table
+from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.network import Network
 from repro.net.session import Session
 from repro.sched.leave_in_time import LeaveInTime
@@ -32,7 +33,7 @@ from repro.sched.policy import constant_policy
 from repro.traffic.onoff import OnOffSource
 from repro.units import kbps, ms, to_ms
 
-__all__ = ["SaturationRow", "SaturationResult", "run"]
+__all__ = ["SaturationRow", "SaturationResult", "cells", "run"]
 
 CAPACITY = 1_536_000.0
 PACKET = 424.0
@@ -78,8 +79,8 @@ class SaturationResult:
                   f"({self.duration:.0f}s, seed {self.seed})")
 
 
-def _run_point(d: float, *, duration: float, seed: int
-               ) -> SaturationRow:
+def _cell(*, d: float, duration: float, seed: int) -> CellOutput:
+    """One sweep cell: a fully loaded node at one service parameter."""
     network = Network(seed=seed)
     network.add_node("n1", LeaveInTime(), capacity=CAPACITY)
     entries = []
@@ -100,20 +101,31 @@ def _run_point(d: float, *, duration: float, seed: int
     # here). The exhaustive subset test agrees on any prefix.
     feasible = d >= SESSIONS * PACKET / CAPACITY - 1e-12
     assert subsets_feasible(entries[:10], CAPACITY) or not feasible
-    return SaturationRow(
+    row = SaturationRow(
         d_ms=to_ms(d),
         feasible=feasible,
         max_lateness_ms=to_ms(lateness.maximum or 0.0),
     )
+    return cell_output(network, row, duration)
+
+
+def cells(*, duration: float, seed: int,
+          d_values_ms: Sequence[float]) -> List[Cell]:
+    """The declarative sweep: one cell per service parameter."""
+    return [Cell(label=f"saturation[d={d_ms:g}ms]", fn=_cell,
+                 kwargs={"d": d_ms * 1e-3, "duration": duration,
+                         "seed": seed})
+            for d_ms in d_values_ms]
 
 
 def run(*, duration: float = 20.0, seed: int = 0,
-        d_values_ms: Sequence[float] = (26.5, 13.25, 6.0, 3.0, 1.0)
-        ) -> SaturationResult:
+        d_values_ms: Sequence[float] = (26.5, 13.25, 6.0, 3.0, 1.0),
+        workers: Optional[int] = 1) -> SaturationResult:
     result = SaturationResult(duration=duration, seed=seed)
-    for d_ms in d_values_ms:
-        result.rows.append(_run_point(d_ms * 1e-3, duration=duration,
-                                      seed=seed))
+    result.rows.extend(run_cells(
+        "saturation",
+        cells(duration=duration, seed=seed, d_values_ms=d_values_ms),
+        workers=workers))
     return result
 
 

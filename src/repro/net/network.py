@@ -10,7 +10,7 @@ sources and :meth:`run` for experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.link import Link
@@ -43,6 +43,10 @@ class Network:
         #: register unless pinned explicitly here.
         self._l_max_network = l_max_network
         self._l_max_seen = 0.0
+        #: Sessions removed while packets were still in flight:
+        #: id -> (session, keep_sink). Finalized when the last packet
+        #: reaches its sink or is dropped.
+        self._draining: Dict[str, Tuple[Session, bool]] = {}
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -65,6 +69,10 @@ class Network:
         """Register a session on every node of its route; create its sink."""
         if session.id in self.sessions:
             raise ConfigurationError(f"duplicate session id {session.id!r}")
+        if session.id in self._draining:
+            raise ConfigurationError(
+                f"session id {session.id!r} is still draining after "
+                f"removal; let its in-flight packets arrive first")
         missing = [n for n in session.route if n not in self.nodes]
         if missing:
             raise ConfigurationError(
@@ -83,35 +91,60 @@ class Network:
 
     def remove_session(self, session_id: str, *,
                        keep_sink: bool = True) -> None:
-        """Tear a session out of the network after it has drained.
+        """Tear a session out of the network (drain-then-forget).
 
-        Drops the session from the routing table, clears per-node
-        scheduler and buffer state, and (optionally) discards its sink.
-        Long-running call churn relies on this to keep per-session state
-        from accumulating. Removing a session whose packets are still
-        in flight raises — stop its source and let the network drain
-        first.
+        Drops the session from the routing table immediately, so its
+        reserved rate stops counting and new traffic cannot be added
+        for it. Per-node scheduler and buffer state — and, when
+        ``keep_sink=False``, the sink — are cleared once the session
+        has no packets in flight: right away if it already drained, or
+        as soon as its last in-flight packet reaches the sink or is
+        dropped. Stop the session's source before removal; long-running
+        call churn relies on this to tear calls down mid-flight without
+        waiting for the network to drain.
         """
-        session = self.sessions.get(session_id)
+        session = self.sessions.pop(session_id, None)
         if session is None:
             raise ConfigurationError(f"unknown session {session_id!r}")
+        if self._in_flight(session) > 0:
+            self._draining[session_id] = (session, keep_sink)
+            return
+        self._finalize_removal(session, keep_sink)
+
+    def _in_flight(self, session: Session) -> int:
+        """Packets injected but not yet delivered to the sink or dropped."""
+        delivered = self.sinks[session.id].received
+        dropped = sum(self.nodes[name].drops.get(session.id, 0)
+                      for name in session.route)
+        return session.packets_sent - delivered - dropped
+
+    def _finalize_removal(self, session: Session,
+                          keep_sink: bool) -> None:
+        """Clear per-node state once the session has fully drained."""
         for node_name in session.route:
             node = self.nodes[node_name]
-            in_flight = node.buffer_bits.get(session_id, 0.0)
-            if in_flight > 1e-9:
-                raise SimulationError(
-                    f"session {session_id!r} still has {in_flight:.0f} "
-                    f"bits at {node_name!r}; drain before removal")
-        for node_name in session.route:
-            node = self.nodes[node_name]
-            node.scheduler.forget_session(session_id)
-            node.buffer_bits.pop(session_id, None)
-            node.buffer_peak.pop(session_id, None)
-            node.buffer_samples.pop(session_id, None)
-            node.buffer_limits.pop(session_id, None)
-        del self.sessions[session_id]
+            node.scheduler.forget_session(session.id)
+            node.buffer_bits.pop(session.id, None)
+            node.buffer_peak.pop(session.id, None)
+            node.buffer_samples.pop(session.id, None)
+            node.buffer_limits.pop(session.id, None)
+        self._draining.pop(session.id, None)
         if not keep_sink:
-            self.sinks.pop(session_id, None)
+            self.sinks.pop(session.id, None)
+
+    def _drain_progress(self, session_id: str) -> None:
+        """A draining session's packet arrived or dropped; maybe finalize."""
+        entry = self._draining.get(session_id)
+        if entry is None:
+            return
+        session, keep_sink = entry
+        if self._in_flight(session) <= 0:
+            self._finalize_removal(session, keep_sink)
+
+    def packet_dropped(self, packet: Packet) -> None:
+        """A node dropped ``packet`` (finite buffer); track draining."""
+        if self._draining:
+            self._drain_progress(packet.session.id)
 
     @property
     def l_max(self) -> float:
@@ -133,6 +166,11 @@ class Network:
         of the session's route at the current instant, which is the
         origin of the end-to-end delay measurement.
         """
+        if session.id not in self.sessions:
+            raise SimulationError(
+                f"session {session.id!r} is not registered (removed or "
+                f"never added) but its source is still injecting; stop "
+                f"the source before remove_session")
         if length > session.l_max:
             raise SimulationError(
                 f"session {session.id!r} generated a packet of {length} bits "
@@ -148,6 +186,8 @@ class Network:
         session = packet.session
         if session.is_last_hop(packet.hop_index):
             self.sinks[session.id].receive(packet, self.sim.now)
+            if self._draining:
+                self._drain_progress(session.id)
             return
         packet.hop_index += 1
         self.nodes[session.node_at(packet.hop_index)].receive(packet)

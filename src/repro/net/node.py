@@ -103,6 +103,8 @@ class ServerNode:
             self.drops[session_id] = self.drops.get(session_id, 0) + 1
             self.tracer.emit(now, "drop", node=self.name,
                              session=session_id, packet=packet.seq)
+            if self.network is not None:
+                self.network.packet_dropped(packet)
             return
 
         occupancy = self.buffer_bits.get(session_id, 0.0) + packet.length

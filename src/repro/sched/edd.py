@@ -28,6 +28,7 @@ from repro.net.packet import Packet
 from repro.net.session import Session
 from repro.sched.base import Scheduler
 from repro.sched.calendar_queue import DeadlineQueue, HeapDeadlineQueue
+from repro.sim.kernel import PRIORITY_NORMAL
 
 __all__ = ["DelayEDD", "JitterEDD", "edd_schedulable"]
 
@@ -93,7 +94,10 @@ class DelayEDD(Scheduler):
         if eligible_at <= now:
             self._eligible.push(packet)
         else:
-            self.sim.schedule_at(eligible_at, self._release, packet)
+            # Tie-break: NORMAL — release-vs-wake order at the same
+            # instant is pinned to insertion order, as in the net layer.
+            self.sim.schedule_at(eligible_at, self._release, packet,
+                                 priority=PRIORITY_NORMAL)
 
     def _release(self, packet: Packet) -> None:
         self._eligible.push(packet)

@@ -23,6 +23,7 @@ from repro.errors import AdmissionError, ConfigurationError
 from repro.net.packet import Packet
 from repro.net.session import Session
 from repro.sched.base import Scheduler
+from repro.sim.kernel import PRIORITY_NORMAL
 
 __all__ = ["HierarchicalRoundRobin"]
 
@@ -79,7 +80,10 @@ class HierarchicalRoundRobin(Scheduler):
         while boundary <= now:  # guard against float rounding
             boundary += self.frame
         self._next_boundary = boundary
-        self.sim.schedule_at(boundary, self._frame_boundary)
+        # Tie-break: NORMAL — the boundary callback keeps insertion
+        # order against packet events at the same instant.
+        self.sim.schedule_at(boundary, self._frame_boundary,
+                             priority=PRIORITY_NORMAL)
 
     def _frame_boundary(self) -> None:
         self._frame_timer_armed = False
@@ -90,8 +94,10 @@ class HierarchicalRoundRobin(Scheduler):
             # never by re-deriving it from the current clock value.
             self._frame_timer_armed = True
             self._next_boundary += self.frame
+            # Tie-break: NORMAL, same reasoning as above.
             self.sim.schedule_at(self._next_boundary,
-                                 self._frame_boundary)
+                                 self._frame_boundary,
+                                 priority=PRIORITY_NORMAL)
             self._wake_node()
 
     def on_arrival(self, packet: Packet, now: float) -> None:

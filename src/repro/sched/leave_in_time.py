@@ -36,7 +36,7 @@ observed lateness stays below one maximum packet transmission time.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
@@ -44,6 +44,8 @@ from repro.net.session import Session
 from repro.sched.base import Scheduler
 from repro.sched.calendar_queue import DeadlineQueue, HeapDeadlineQueue
 from repro.sched.policy import DelayPolicy, virtual_clock_policy
+from repro.sim.events import Event
+from repro.sim.kernel import PRIORITY_NORMAL
 
 __all__ = ["LeaveInTime"]
 
@@ -55,13 +57,16 @@ _HOLD_EPSILON = 1e-9
 class _SessionState:
     """Per-session, per-node scheduler state."""
 
-    __slots__ = ("session", "policy", "k_prev", "initialized")
+    __slots__ = ("session", "policy", "k_prev", "initialized", "pending")
 
     def __init__(self, session: Session) -> None:
         self.session = session
         self.policy: Optional[DelayPolicy] = None
         self.k_prev = 0.0
         self.initialized = False
+        #: Packets inside this session's delay regulator: seq ->
+        #: (release event, packet). Teardown flushes these.
+        self.pending: Dict[int, Tuple[Event, Packet]] = {}
 
     def resolve_policy(self, node_name: str) -> DelayPolicy:
         """Fetch the admission-assigned policy, defaulting to VirtualClock.
@@ -140,10 +145,21 @@ class LeaveInTime(Scheduler):
             self._eligible.push(packet)
         else:
             self._held += 1
-            self.sim.schedule_at(eligible_at, self._release, packet)
+            # Tie-break: NORMAL, so a release coinciding with the node
+            # transmitter's wake (or a completion) resolves by insertion
+            # order — the hold was scheduled at arrival, before any
+            # same-instant completion, so the release runs first and the
+            # transmitter sees the packet. Pinned explicitly because the
+            # order is load-bearing for deadline ties.
+            event = self.sim.schedule_at(eligible_at, self._release,
+                                         packet, priority=PRIORITY_NORMAL)
+            state.pending[packet.seq] = (event, packet)
 
     def _release(self, packet: Packet) -> None:
         """A delay regulator hold expired; queue the packet for service."""
+        state = self._sessions.get(packet.session.id)
+        if state is not None:
+            state.pending.pop(packet.seq, None)
         self._held -= 1
         self._eligible.push(packet)
         self.tracer.emit(self.sim.now, "eligible", node=self.node.name,
@@ -166,7 +182,17 @@ class LeaveInTime(Scheduler):
         # this node's: F (deadline), F̂ (actual finish = now), d_max and
         # d_i from the session's policy here, L_MAX network-wide, C of
         # this node's outgoing link.
-        policy = self._sessions[session.id].resolve_policy(self.node.name)
+        state = self._sessions.get(session.id)
+        if state is not None:
+            policy = state.resolve_policy(self.node.name)
+        else:
+            # Session torn down while this packet was in flight:
+            # relabel with the session's own assignment (VirtualClock
+            # default) so draining packets still carry a consistent
+            # downstream holding time instead of raising KeyError.
+            policy = session.policy_for(self.node.name) \
+                or virtual_clock_policy(session.rate, session.l_max,
+                                        session.l_min)
         l_max_network = self.node.network.l_max
         holding = (packet.deadline + l_max_network / self.capacity - now
                    + policy.d_max - policy.d_of(packet.length))
@@ -190,7 +216,29 @@ class LeaveInTime(Scheduler):
         return self._held
 
     def forget_session(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
+        """Drop per-session state, flushing any regulator holds.
+
+        Packets still sitting in the session's delay regulator are
+        released immediately (their hold events are cancelled and they
+        join the eligible queue now) so teardown can never strand a
+        packet or leak the ``_held`` counter.  Packets already eligible
+        or in transmission drain normally:
+        :meth:`on_transmit_complete` relabels them with the session's
+        own policy when the state is gone.  Prefer tearing sessions
+        down through :meth:`repro.net.network.Network.remove_session`,
+        which defers this call until the session has fully drained.
+        """
+        state = self._sessions.pop(session_id, None)
+        if state is None or not state.pending:
+            return
+        for event, packet in state.pending.values():
+            event.cancel()
+            self._held -= 1
+            self._eligible.push(packet)
+            self.tracer.emit(self.sim.now, "flush", node=self.node.name,
+                             session=session_id, packet=packet.seq)
+        state.pending.clear()
+        self._wake_node()
 
     def session_state(self, session_id: str) -> _SessionState:
         """Expose per-session state for tests and diagnostics."""

@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.session import Session
 from repro.sched.base import Scheduler
+from repro.sim.kernel import PRIORITY_NORMAL
 
 __all__ = ["RCSP", "rcsp_admissible"]
 
@@ -125,7 +126,10 @@ class RCSP(Scheduler):
             self._queues[self._level_of(session)].append(packet)
         else:
             self._held += 1
-            self.sim.schedule_at(eligible_at, self._release, packet)
+            # Tie-break: NORMAL — release-vs-wake order at the same
+            # instant is pinned to insertion order, as in the net layer.
+            self.sim.schedule_at(eligible_at, self._release, packet,
+                                 priority=PRIORITY_NORMAL)
 
     def _release(self, packet: Packet) -> None:
         self._held -= 1

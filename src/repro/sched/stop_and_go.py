@@ -27,6 +27,7 @@ from repro.errors import AdmissionError, ConfigurationError
 from repro.net.packet import Packet
 from repro.net.session import Session
 from repro.sched.base import Scheduler
+from repro.sim.kernel import PRIORITY_NORMAL
 
 __all__ = ["StopAndGo"]
 
@@ -87,7 +88,10 @@ class StopAndGo(Scheduler):
         # deadline so lateness monitoring stays meaningful.
         packet.deadline = now + 2.0 * self.frame
         self._held += 1
-        self.sim.schedule_at(eligible_at, self._release, packet)
+        # Tie-break: NORMAL — frame-boundary releases keep insertion
+        # order against same-instant completions.
+        self.sim.schedule_at(eligible_at, self._release, packet,
+                             priority=PRIORITY_NORMAL)
 
     def _release(self, packet: Packet) -> None:
         self._held -= 1

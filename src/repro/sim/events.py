@@ -108,6 +108,15 @@ class EventQueue:
         return self._heap[0][0]
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event, detaching their queue backrefs.
+
+        Detaching matters: a handle created before the clear must not
+        reach back into this (now emptied) queue when cancelled later —
+        e.g. cancelling a stale event after ``Simulator.reset()`` would
+        otherwise decrement ``_live`` below zero and corrupt the live
+        count that ``pending`` and ``__len__`` report.
+        """
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0

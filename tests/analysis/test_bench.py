@@ -1,0 +1,89 @@
+"""BENCH telemetry records: schema, round-trip, emission gating."""
+
+import json
+
+import pytest
+
+from repro.analysis import bench
+
+
+def sample_record():
+    return bench.make_record(
+        "fig_test", wall_time_s=2.0, events_dispatched=1000,
+        workers=3, simulated_s=40.0, cells=5)
+
+
+class TestRecord:
+    def test_events_per_sec_derived(self):
+        record = sample_record()
+        assert record.events_per_sec == pytest.approx(500.0)
+
+    def test_zero_wall_time_does_not_divide(self):
+        record = bench.make_record(
+            "z", wall_time_s=0.0, events_dispatched=10, workers=1,
+            simulated_s=0.0, cells=1)
+        assert record.events_per_sec == 0.0
+
+    def test_schema_version_stamped(self):
+        assert sample_record().schema == bench.SCHEMA_VERSION
+
+    def test_git_rev_is_nonempty(self):
+        assert sample_record().git_rev
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        record = sample_record()
+        path = bench.write_record(record, tmp_path)
+        assert path == tmp_path / "BENCH_fig_test.json"
+        assert bench.read_record(path) == record
+
+    def test_payload_is_flat_sorted_json(self, tmp_path):
+        path = bench.write_record(sample_record(), tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == bench.SCHEMA_VERSION
+        assert payload["experiment"] == "fig_test"
+        assert list(payload) == sorted(payload)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = bench.write_record(sample_record(), tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            bench.read_record(path)
+
+
+class TestEmissionSwitch:
+    def test_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(bench.ENV_DIR, str(tmp_path))
+        assert not bench.emission_enabled()
+        assert bench.emit(sample_record()) is None
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_env_opt_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(bench.ENV_ENABLE, "1")
+        monkeypatch.setenv(bench.ENV_DIR, str(tmp_path))
+        path = bench.emit(sample_record())
+        assert path == tmp_path / "BENCH_fig_test.json"
+        assert bench.read_record(path) == sample_record()
+
+    def test_env_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv(bench.ENV_ENABLE, "0")
+        assert not bench.emission_enabled()
+
+    def test_configure_wins_over_env_dir(self, tmp_path, monkeypatch):
+        other = tmp_path / "env"
+        pinned = tmp_path / "pinned"
+        monkeypatch.setenv(bench.ENV_DIR, str(other))
+        bench.configure(enabled=True, directory=pinned)
+        path = bench.emit(sample_record())
+        assert path is not None and path.parent == pinned
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotonic(self):
+        watch = bench.Stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert 0.0 <= first <= second

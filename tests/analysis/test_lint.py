@@ -123,7 +123,13 @@ def test_untiebroken_event_negative_with_priority():
     assert findings("net/untiebroken_ok.py", "untiebroken-event") == []
 
 
-def test_untiebroken_event_is_scoped_to_net():
+def test_untiebroken_event_covers_sched_layer():
+    assert findings("sched/untiebroken_bad.py", "untiebroken-event") == [
+        ("untiebroken-event", 5),  # schedule_at(...)
+    ]
+
+
+def test_untiebroken_event_is_scoped_to_net_and_sched():
     assert findings("untiebroken_outside_net_ok.py",
                     "untiebroken-event") == []
 

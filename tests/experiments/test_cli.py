@@ -66,3 +66,53 @@ def test_default_duration_uses_runner_default(monkeypatch):
     import repro.cli as cli
     monkeypatch.setitem(cli._SIMULATED, "firewall", (fake_run, 60.0))
     assert main(["firewall"]) == 0
+
+
+def test_parser_accepts_workers_and_bench_dir():
+    args = build_parser().parse_args(
+        ["figure07", "--workers", "4", "--bench-dir", "/tmp/bench"])
+    assert args.workers == 4
+    assert args.bench_dir == "/tmp/bench"
+
+
+def test_workers_forwarded_to_sharding_runners(monkeypatch):
+    captured = {}
+
+    def fake_run(duration=None, seed=0, workers=1):
+        captured["workers"] = workers
+
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "figure07", (fake_run, 300.0))
+    assert main(["figure07", "--workers", "3"]) == 0
+    assert captured["workers"] == 3
+
+
+def test_workers_not_passed_to_plain_runners(monkeypatch):
+    def fake_run(duration=None, seed=0):
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "firewall", (fake_run, 60.0))
+    # Would raise TypeError if the CLI forced workers through.
+    assert main(["firewall", "--workers", "2"]) == 0
+
+
+def test_cli_writes_bench_record(tmp_path, capsys):
+    from repro.analysis import bench
+    assert main(["figure08", "--duration", "2",
+                 "--bench-dir", str(tmp_path)]) == 0
+    record = bench.read_record(tmp_path / "BENCH_fig08.json")
+    assert record.experiment == "fig08"
+    assert record.events_dispatched > 0
+    assert record.simulated_s == pytest.approx(2.0)
+    assert record.wall_time_s > 0

@@ -1,0 +1,5 @@
+"""Fixture: scheduler-layer regulator timer with implicit tie-break. Never imported."""
+
+
+def hold(sim, eligible_at, release, packet):
+    sim.schedule_at(eligible_at, release, packet)  # line 5: untiebroken-event

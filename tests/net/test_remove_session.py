@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.sched.leave_in_time import LeaveInTime
 from tests.conftest import add_trace_session, make_network
 
@@ -42,12 +42,93 @@ def test_remove_unknown_session_rejected():
         network.remove_session("ghost")
 
 
-def test_remove_with_in_flight_packets_rejected():
+def test_remove_with_in_flight_packets_defers_cleanup():
+    """Mid-flight removal drains, then forgets (drain-then-forget)."""
     network = make_network(LeaveInTime, capacity=1.0)
     add_trace_session(network, "s", rate=1.0, times=[0.0], lengths=10.0)
     network.run(5.0)  # still transmitting (10 s long)
-    with pytest.raises(SimulationError):
-        network.remove_session("s")
+    network.remove_session("s")
+    # Gone from the routing table at once; node state lingers while
+    # the packet is still on the link.
+    assert "s" not in network.sessions
+    assert network.reserved_rate("n1") == 0.0
+    assert "s" in network._draining
+    network.run(20.0)
+    # Drained: packet delivered, per-node state cleared.
+    assert network.sink("s").received == 1
+    assert "s" not in network._draining
+    assert "s" not in network.node("n1").buffer_bits
+    with pytest.raises(KeyError):
+        network.node("n1").scheduler.session_state("s")
+
+
+def test_remove_mid_flight_discarding_sink():
+    network = make_network(LeaveInTime, capacity=1.0)
+    add_trace_session(network, "s", rate=1.0, times=[0.0], lengths=10.0)
+    network.run(5.0)
+    network.remove_session("s", keep_sink=False)
+    # Sink must survive until the drain completes, then vanish.
+    assert "s" in network.sinks
+    network.run(20.0)
+    assert "s" not in network.sinks
+    assert "s" not in network._draining
+
+
+def test_remove_while_packet_held_by_regulator():
+    """Teardown while the regulator holds packets must not wedge them."""
+    network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+    # Jitter control maximizes downstream holding at n2.
+    add_trace_session(network, "s", rate=10.0, times=[0.0, 0.01],
+                      lengths=100.0, route=["n1", "n2"],
+                      jitter_control=True)
+    # Run just long enough for packets to reach n2's regulator.
+    network.run(0.3)
+    network.remove_session("s")
+    network.run(60.0)
+    assert network.sink("s").received == 2
+    assert "s" not in network._draining
+    scheduler = network.node("n2").scheduler
+    with pytest.raises(KeyError):
+        scheduler.session_state("s")
+
+
+def test_inject_after_removal_rejected():
+    """A source left running past removal fails loudly, not via KeyError."""
+    from repro.errors import SimulationError
+    network, session, sink = drained_network()
+    network.remove_session("s", keep_sink=False)
+    with pytest.raises(SimulationError, match="stop the source"):
+        network.inject(session, 100.0)
+
+
+def test_readd_while_draining_rejected():
+    network = make_network(LeaveInTime, capacity=1.0)
+    session, _, _ = add_trace_session(
+        network, "s", rate=1.0, times=[0.0], lengths=10.0)
+    network.run(5.0)
+    network.remove_session("s")
+    from repro.net.session import Session
+    clone = Session("s", rate=1.0, route=["n1"], l_max=10.0)
+    with pytest.raises(ConfigurationError):
+        network.add_session(clone)
+
+
+def test_forget_session_flushes_held_packets():
+    """Direct forget_session releases regulator holds immediately."""
+    network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+    add_trace_session(network, "s", rate=10.0, times=[0.0, 0.01],
+                      lengths=100.0, route=["n1", "n2"],
+                      jitter_control=True)
+    network.run(0.3)
+    scheduler = network.node("n2").scheduler
+    held_before = scheduler._held
+    scheduler.forget_session("s")
+    # Holds flushed: the counter drops to zero and packets are queued
+    # as immediately eligible rather than stranded.
+    assert scheduler._held == 0
+    if held_before:
+        network.run(60.0)
+        assert network.sink("s").received == 2
 
 
 def test_session_id_reusable_after_removal():

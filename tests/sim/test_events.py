@@ -86,6 +86,27 @@ class TestCancellation:
         assert len(queue) == 0
         assert queue.pop() is None
 
+    def test_cancel_after_clear_does_not_corrupt_count(self):
+        # Regression: clear() used to leave stale _queue backrefs, so a
+        # handle cancelled after the clear drove _live below zero and
+        # desynchronized len() from the heap forever after.
+        queue = make_queue()
+        handle = queue.push(1.0, 0, lambda: None, ())
+        queue.clear()
+        handle.cancel()
+        assert len(queue) == 0
+        queue.push(2.0, 0, lambda: None, ())
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_cancel_after_simulator_reset_is_harmless(self):
+        from repro.sim.kernel import Simulator
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.reset()
+        event.cancel()
+        assert sim.pending == 0
+
 
 class TestEvent:
     def test_comparison_is_total_via_sequence(self):
