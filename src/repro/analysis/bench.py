@@ -25,17 +25,28 @@ The JSON schema is flat and versioned::
 ``simulated_s`` is the *total* simulated horizon across all cells of
 the sweep (duration × cells for a uniform sweep), so
 ``simulated_s / wall_time_s`` is the aggregate real-time factor.
+
+Records double as regression gates::
+
+    python -m repro.analysis.bench compare OLD.json NEW.json \
+        --max-regression 10
+
+exits non-zero when NEW's events/sec fall more than the given
+percentage below OLD's — CI fails the build instead of letting the
+kernel quietly slow down.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import subprocess
+import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Tuple, Union
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -51,6 +62,8 @@ __all__ = [
     "emission_enabled",
     "output_directory",
     "emit",
+    "compare_records",
+    "main",
 ]
 
 #: Version stamped into every record; bump on incompatible changes.
@@ -192,3 +205,66 @@ def emit(record: BenchRecord) -> Optional[Path]:
     if not emission_enabled():
         return None
     return write_record(record)
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def compare_records(old: BenchRecord, new: BenchRecord,
+                    max_regression: float = 0.0) -> Tuple[bool, str]:
+    """Throughput regression verdict plus a one-line human summary.
+
+    Passes when ``new.events_per_sec`` is no more than
+    ``max_regression`` percent below ``old.events_per_sec``.  Speedups
+    always pass; the gate is one-sided on purpose — a faster kernel is
+    never a failure.
+    """
+    floor = old.events_per_sec * (1.0 - max_regression / 100.0)
+    ok = new.events_per_sec >= floor
+    if old.events_per_sec > 0:
+        delta = 100.0 * (new.events_per_sec / old.events_per_sec - 1.0)
+        change = f"{delta:+.1f}%"
+    else:
+        change = "n/a (zero baseline)"
+    verdict = "OK" if ok else "REGRESSION"
+    message = (f"{new.experiment}: {old.events_per_sec:,.0f} -> "
+               f"{new.events_per_sec:,.0f} events/s ({change}); "
+               f"floor {floor:,.0f} at max regression "
+               f"{max_regression:g}%: {verdict}")
+    return ok, message
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.analysis.bench compare OLD NEW [...]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench",
+        description="BENCH telemetry utilities")
+    commands = parser.add_subparsers(dest="command", required=True)
+    compare = commands.add_parser(
+        "compare",
+        help="gate NEW against OLD; exit 1 on a throughput regression")
+    compare.add_argument("old", help="baseline BENCH_*.json")
+    compare.add_argument("new", help="candidate BENCH_*.json")
+    compare.add_argument(
+        "--max-regression", type=float, default=0.0, metavar="PCT",
+        help="tolerated events/sec drop in percent (default: 0)")
+    args = parser.parse_args(argv)
+
+    try:
+        old = read_record(args.old)
+        new = read_record(args.new)
+    except (OSError, ValueError, TypeError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if old.experiment != new.experiment:
+        print(f"error: comparing different experiments "
+              f"({old.experiment!r} vs {new.experiment!r})",
+              file=sys.stderr)
+        return 2
+    ok, message = compare_records(old, new, args.max_regression)
+    print(message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

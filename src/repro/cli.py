@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--bench-dir", metavar="DIR", default=None,
                         help="directory for BENCH_<experiment>.json "
                              "telemetry records (default: cwd)")
+    parser.add_argument("--profile", nargs="?", const=25, type=int,
+                        default=None, metavar="N",
+                        help="run under cProfile and print the top N "
+                             "functions by cumulative time "
+                             "(default N: 25)")
     return parser
 
 
@@ -136,14 +141,32 @@ def main(argv: Optional[list] = None) -> int:
     bench.configure(enabled=True, directory=args.bench_dir)
     names = (sorted(_SIMULATED) + sorted(_ANALYTIC)
              if args.experiment == "all" else [args.experiment])
-    for name in names:
-        if name in _ANALYTIC:
-            print(_ANALYTIC[name]().table())
-        else:
-            print(_run_simulated(name, args.duration, args.seed,
-                                 args.full, args.csv, workers))
-        print()
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        for name in names:
+            if name in _ANALYTIC:
+                print(_ANALYTIC[name]().table())
+            else:
+                print(_run_simulated(name, args.duration, args.seed,
+                                     args.full, args.csv, workers))
+            print()
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler, args.profile)
     return 0
+
+
+def _print_profile(profiler, top: int) -> None:
+    """Top ``top`` functions by cumulative time, on stdout."""
+    import pstats
+    print(f"[profile: top {top} functions by cumulative time]")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
 
 
 if __name__ == "__main__":  # pragma: no cover

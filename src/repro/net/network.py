@@ -114,7 +114,7 @@ class Network:
     def _in_flight(self, session: Session) -> int:
         """Packets injected but not yet delivered to the sink or dropped."""
         delivered = self.sinks[session.id].received
-        dropped = sum(self.nodes[name].drops.get(session.id, 0)
+        dropped = sum(self.nodes[name].drop_count(session.id)
                       for name in session.route)
         return session.packets_sent - delivered - dropped
 
@@ -124,10 +124,7 @@ class Network:
         for node_name in session.route:
             node = self.nodes[node_name]
             node.scheduler.forget_session(session.id)
-            node.buffer_bits.pop(session.id, None)
-            node.buffer_peak.pop(session.id, None)
-            node.buffer_samples.pop(session.id, None)
-            node.buffer_limits.pop(session.id, None)
+            node.forget_session(session.id)
         self._draining.pop(session.id, None)
         if not keep_sink:
             self.sinks.pop(session.id, None)

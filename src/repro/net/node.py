@@ -14,6 +14,12 @@ exactly:
 The node also measures per-session buffer occupancy the way the paper's
 Figures 12-13 do: sampled at the instant a packet's last bit arrives,
 counting queued, held, *and in-transmission* bits of that session.
+
+Buffer accounting lives in one :class:`_SessionBuffer` record per
+session, resolved once on the arrival path — ``receive`` used to probe
+four separate dicts per packet, which profiled as a top-three cost of
+the forwarding benchmarks.  The legacy dict attributes
+(``buffer_bits`` etc.) remain as read-only views for reports and tests.
 """
 
 from __future__ import annotations
@@ -35,6 +41,24 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ServerNode"]
 
 
+class _SessionBuffer:
+    """Per-session buffer accounting at one node, resolved once.
+
+    One record bundles everything ``receive`` needs per packet:
+    occupancy, peak, the optional finite limit, the optional
+    arrival-sampled monitor series, and the drop count.
+    """
+
+    __slots__ = ("bits", "peak", "limit", "samples", "drops")
+
+    def __init__(self) -> None:
+        self.bits = 0.0
+        self.peak = 0.0
+        self.limit: Optional[float] = None
+        self.samples: Optional[TimeSeries] = None
+        self.drops = 0
+
+
 class ServerNode:
     """One server: scheduler + outgoing link."""
 
@@ -49,36 +73,33 @@ class ServerNode:
         self.network: Optional["Network"] = None
 
         self.transmitting: Optional[Packet] = None
-        #: Bits of each session currently at this node (held, queued, or
-        #: in transmission).
-        self.buffer_bits: Dict[str, float] = {}
-        #: Arrival-sampled buffer occupancy for monitored sessions.
-        self.buffer_samples: Dict[str, TimeSeries] = {}
-        #: Peak per-session occupancy, tracked for every session.
-        self.buffer_peak: Dict[str, float] = {}
-        #: Optional per-session buffer limits in bits. A packet whose
-        #: arrival would push its session past the limit is dropped —
-        #: the paper's buffer bounds are exactly the provisioning level
-        #: at which this never happens.
-        self.buffer_limits: Dict[str, float] = {}
-        #: Dropped-packet counts per session (finite buffers only).
-        self.drops: Dict[str, int] = {}
+        #: Per-session buffer records (occupancy, peak, limit, monitor,
+        #: drops) — one dict probe per packet instead of four.
+        self._buffers: Dict[str, _SessionBuffer] = {}
 
         self.packets_served = 0
         self.bits_served = 0.0
+        #: Link-busy seconds, accrued when a transmission *completes*
+        #: (see :meth:`utilization` for the in-flight pro-rating).
         self.busy_time = 0.0
+        self._tx_started_at = 0.0
+        self._tx_time = 0.0
 
     # ------------------------------------------------------------------
     # Session registration
     # ------------------------------------------------------------------
     def register_session(self, session: Session) -> None:
         """Prepare per-session state and inform the scheduler."""
-        self.buffer_bits.setdefault(session.id, 0.0)
-        self.buffer_peak.setdefault(session.id, 0.0)
-        if session.monitor_buffer:
-            self.buffer_samples.setdefault(
-                session.id, TimeSeries(f"{self.name}.{session.id}.buffer"))
+        buf = self._buffers.get(session.id)
+        if buf is None:
+            buf = self._buffers[session.id] = _SessionBuffer()
+        if session.monitor_buffer and buf.samples is None:
+            buf.samples = TimeSeries(f"{self.name}.{session.id}.buffer")
         self.scheduler.register_session(session)
+
+    def forget_session(self, session_id: str) -> None:
+        """Drop this node's buffer record for a fully drained session."""
+        self._buffers.pop(session_id, None)
 
     # ------------------------------------------------------------------
     # Data path
@@ -88,7 +109,10 @@ class ServerNode:
         if bits <= 0:
             raise SimulationError(
                 f"buffer limit must be positive, got {bits}")
-        self.buffer_limits[session_id] = float(bits)
+        buf = self._buffers.get(session_id)
+        if buf is None:
+            buf = self._buffers[session_id] = _SessionBuffer()
+        buf.limit = float(bits)
 
     def receive(self, packet: Packet) -> None:
         """A packet's last bit arrived at this node."""
@@ -96,27 +120,34 @@ class ServerNode:
         packet.arrival_time = now
         session_id = packet.session.id
 
-        limit = self.buffer_limits.get(session_id)
-        if (limit is not None
-                and self.buffer_bits.get(session_id, 0.0) + packet.length
-                > limit + 1e-9):
-            self.drops[session_id] = self.drops.get(session_id, 0) + 1
-            self.tracer.emit(now, "drop", node=self.name,
-                             session=session_id, packet=packet.seq)
+        buf = self._buffers.get(session_id)
+        if buf is None:
+            # Unregistered sessions can still deliver here while a
+            # removed session drains; account for them the same way.
+            buf = self._buffers[session_id] = _SessionBuffer()
+        occupancy = buf.bits + packet.length
+        limit = buf.limit
+        if limit is not None and occupancy > limit + 1e-9:
+            buf.drops += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(now, "drop", node=self.name,
+                            session=session_id, packet=packet.seq)
             if self.network is not None:
                 self.network.packet_dropped(packet)
             return
 
-        occupancy = self.buffer_bits.get(session_id, 0.0) + packet.length
-        self.buffer_bits[session_id] = occupancy
-        if occupancy > self.buffer_peak.get(session_id, 0.0):
-            self.buffer_peak[session_id] = occupancy
-        samples = self.buffer_samples.get(session_id)
+        buf.bits = occupancy
+        if occupancy > buf.peak:
+            buf.peak = occupancy
+        samples = buf.samples
         if samples is not None:
             samples.record(now, occupancy)
 
-        self.tracer.emit(now, "arrival", node=self.name,
-                         session=session_id, packet=packet.seq)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(now, "arrival", node=self.name,
+                        session=session_id, packet=packet.seq)
         self.scheduler.on_arrival(packet, now)
         self._try_start()
 
@@ -133,10 +164,15 @@ class ServerNode:
             return
         self.transmitting = packet
         transmission = self.link.transmission_time(packet.length)
-        self.busy_time += transmission
-        self.tracer.emit(now, "tx_start", node=self.name,
-                         session=packet.session.id, packet=packet.seq,
-                         deadline=packet.deadline)
+        # busy_time accrues at completion; remember the start so
+        # utilization() can pro-rate a transmission still in flight.
+        self._tx_started_at = now
+        self._tx_time = transmission
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(now, "tx_start", node=self.name,
+                        session=packet.session.id, packet=packet.seq,
+                        deadline=packet.deadline)
         # Tie-break: NORMAL, so a completion coinciding with an arrival
         # resolves by insertion order — the arrival was scheduled first
         # and is processed first, which is the store-and-forward order
@@ -154,14 +190,18 @@ class ServerNode:
         self.scheduler.on_transmit_complete(packet, now)
 
         session_id = packet.session.id
-        self.buffer_bits[session_id] = (
-            self.buffer_bits.get(session_id, 0.0) - packet.length)
+        buf = self._buffers.get(session_id)
+        if buf is not None:
+            buf.bits -= packet.length
         self.packets_served += 1
         self.bits_served += packet.length
+        self.busy_time += self._tx_time
         self.transmitting = None
 
-        self.tracer.emit(now, "tx_end", node=self.name,
-                         session=session_id, packet=packet.seq)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(now, "tx_end", node=self.name,
+                        session=session_id, packet=packet.seq)
         if self.network is None:
             raise SimulationError(
                 f"node {self.name} is not attached to a network")
@@ -176,10 +216,57 @@ class ServerNode:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def buffer_bits(self) -> Dict[str, float]:
+        """Bits of each session currently at this node (read-only view)."""
+        return {sid: buf.bits for sid, buf in self._buffers.items()}
+
+    @property
+    def buffer_peak(self) -> Dict[str, float]:
+        """Peak per-session occupancy (read-only view)."""
+        return {sid: buf.peak for sid, buf in self._buffers.items()}
+
+    @property
+    def buffer_samples(self) -> Dict[str, TimeSeries]:
+        """Arrival-sampled occupancy series for monitored sessions."""
+        return {sid: buf.samples for sid, buf in self._buffers.items()
+                if buf.samples is not None}
+
+    @property
+    def buffer_limits(self) -> Dict[str, float]:
+        """Configured finite buffer limits in bits (read-only view)."""
+        return {sid: buf.limit for sid, buf in self._buffers.items()
+                if buf.limit is not None}
+
+    @property
+    def drops(self) -> Dict[str, int]:
+        """Dropped-packet counts for sessions that dropped (read-only)."""
+        return {sid: buf.drops for sid, buf in self._buffers.items()
+                if buf.drops > 0}
+
+    def drop_count(self, session_id: str) -> int:
+        """Packets of ``session_id`` dropped at this node."""
+        buf = self._buffers.get(session_id)
+        return buf.drops if buf is not None else 0
+
     def utilization(self, now: Optional[float] = None) -> float:
-        """Fraction of time the link has been busy since time zero."""
+        """Fraction of time the link has been busy since time zero.
+
+        ``busy_time`` accrues when a transmission completes; a
+        transmission still on the link contributes only its elapsed
+        fraction, so stopping a run mid-transmission no longer
+        overstates utilization (it used to be charged in full at
+        ``tx_start``).
+        """
         horizon = self.sim.now if now is None else now
-        return self.busy_time / horizon if horizon > 0 else 0.0
+        if horizon <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self.transmitting is not None:
+            elapsed = horizon - self._tx_started_at
+            if elapsed > 0:
+                busy += elapsed if elapsed < self._tx_time else self._tx_time
+        return busy / horizon
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ServerNode {self.name} {self.link!r}>"

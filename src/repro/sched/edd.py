@@ -101,6 +101,10 @@ class DelayEDD(Scheduler):
 
     def _release(self, packet: Packet) -> None:
         self._eligible.push(packet)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, "eligible", node=self.node.name,
+                        session=packet.session.id, packet=packet.seq)
         self._wake_node()
 
     def next_packet(self, now: float) -> Optional[Packet]:

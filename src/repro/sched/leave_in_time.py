@@ -136,10 +136,12 @@ class LeaveInTime(Scheduler):
         packet.deadline = base + policy.d_of(packet.length)
         state.k_prev = base + packet.length / session.rate
 
-        self.tracer.emit(now, "deadline", node=self.node.name,
-                         session=session.id, packet=packet.seq,
-                         eligible=eligible_at, deadline=packet.deadline,
-                         k=state.k_prev)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(now, "deadline", node=self.node.name,
+                        session=session.id, packet=packet.seq,
+                        eligible=eligible_at, deadline=packet.deadline,
+                        k=state.k_prev)
 
         if eligible_at <= now:
             self._eligible.push(packet)
@@ -162,8 +164,10 @@ class LeaveInTime(Scheduler):
             state.pending.pop(packet.seq, None)
         self._held -= 1
         self._eligible.push(packet)
-        self.tracer.emit(self.sim.now, "eligible", node=self.node.name,
-                         session=packet.session.id, packet=packet.seq)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, "eligible", node=self.node.name,
+                        session=packet.session.id, packet=packet.seq)
         self._wake_node()
 
     def next_packet(self, now: float) -> Optional[Packet]:
@@ -231,12 +235,14 @@ class LeaveInTime(Scheduler):
         state = self._sessions.pop(session_id, None)
         if state is None or not state.pending:
             return
+        tracer = self.tracer
         for event, packet in state.pending.values():
             event.cancel()
             self._held -= 1
             self._eligible.push(packet)
-            self.tracer.emit(self.sim.now, "flush", node=self.node.name,
-                             session=session_id, packet=packet.seq)
+            if tracer.enabled:
+                tracer.emit(self.sim.now, "flush", node=self.node.name,
+                            session=session_id, packet=packet.seq)
         state.pending.clear()
         self._wake_node()
 

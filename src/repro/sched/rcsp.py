@@ -134,6 +134,10 @@ class RCSP(Scheduler):
     def _release(self, packet: Packet) -> None:
         self._held -= 1
         self._queues[self._level_of(packet.session)].append(packet)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, "eligible", node=self.node.name,
+                        session=packet.session.id, packet=packet.seq)
         self._wake_node()
 
     def next_packet(self, now: float) -> Optional[Packet]:

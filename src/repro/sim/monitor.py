@@ -14,7 +14,8 @@ Four small, composable recorders:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 __all__ = ["Counter", "Tally", "TimeWeighted", "TimeSeries"]
 
@@ -123,22 +124,33 @@ class TimeWeighted:
 
 
 class TimeSeries:
-    """Raw ``(time, value)`` samples, optionally bounded in length."""
+    """Raw ``(time, value)`` samples, optionally bounded in length.
+
+    Bounded mode is a ring buffer: the series keeps the most *recent*
+    ``max_samples`` samples and ``dropped`` counts the oldest ones
+    evicted to make room.  (It used to keep the first N and silently
+    ignore newcomers, which made bounded sinks useless for steady-state
+    distribution plots.)
+    """
 
     def __init__(self, name: str = "series",
                  max_samples: Optional[int] = None) -> None:
         self.name = name
         self.max_samples = max_samples
-        self._times: List[float] = []
-        self._values: List[float] = []
+        if max_samples is None:
+            self._times: Deque[float] | List[float] = []
+            self._values: Deque[float] | List[float] = []
+        else:
+            self._times = deque(maxlen=max_samples)
+            self._values = deque(maxlen=max_samples)
         self.dropped = 0
 
     def record(self, time: float, value: float) -> None:
-        if (self.max_samples is not None
-                and len(self._times) >= self.max_samples):
+        times = self._times
+        if self.max_samples is not None and len(times) == self.max_samples:
+            # The deque evicts the oldest entry on append.
             self.dropped += 1
-            return
-        self._times.append(time)
+        times.append(time)
         self._values.append(value)
 
     def __len__(self) -> int:
@@ -146,11 +158,13 @@ class TimeSeries:
 
     @property
     def times(self) -> List[float]:
-        return self._times
+        times = self._times
+        return times if isinstance(times, list) else list(times)
 
     @property
     def values(self) -> List[float]:
-        return self._values
+        values = self._values
+        return values if isinstance(values, list) else list(values)
 
     def items(self) -> List[Tuple[float, float]]:
         return list(zip(self._times, self._values))

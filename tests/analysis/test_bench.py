@@ -87,3 +87,75 @@ class TestStopwatch:
         first = watch.elapsed()
         second = watch.elapsed()
         assert 0.0 <= first <= second
+
+
+def _record(events, wall=1.0, experiment="gate"):
+    return bench.make_record(
+        experiment, wall_time_s=wall, events_dispatched=events,
+        workers=1, simulated_s=1.0, cells=1)
+
+
+class TestCompareRecords:
+    def test_speedup_passes(self):
+        ok, message = bench.compare_records(_record(1000), _record(2000))
+        assert ok
+        assert "OK" in message and "+100.0%" in message
+
+    def test_regression_beyond_threshold_fails(self):
+        ok, message = bench.compare_records(
+            _record(1000), _record(850), max_regression=10.0)
+        assert not ok
+        assert "REGRESSION" in message
+
+    def test_regression_within_threshold_passes(self):
+        ok, _ = bench.compare_records(
+            _record(1000), _record(950), max_regression=10.0)
+        assert ok
+
+    def test_zero_tolerance_fails_any_slowdown(self):
+        ok, _ = bench.compare_records(_record(1000), _record(999))
+        assert not ok
+
+
+class TestCompareCli:
+    def write(self, tmp_path, name, events, experiment="gate"):
+        path = bench.write_record(_record(events, experiment=experiment),
+                                  tmp_path / name)
+        return str(path)
+
+    def test_exit_zero_on_speedup(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old", 1000)
+        new = self.write(tmp_path, "new", 1500)
+        assert bench.main(["compare", old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old", 1000)
+        new = self.write(tmp_path, "new", 800)
+        assert bench.main(["compare", old, new,
+                           "--max-regression", "10"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_two_on_mismatched_experiments(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old", 1000, experiment="a")
+        new = self.write(tmp_path, "new", 1000, experiment="b")
+        assert bench.main(["compare", old, new]) == 2
+        assert "different experiments" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_file(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old", 1000)
+        missing = str(tmp_path / "nope" / "BENCH_gate.json")
+        assert bench.main(["compare", old, missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys as _sys
+        old = self.write(tmp_path, "old", 1000)
+        new = self.write(tmp_path, "new", 900)
+        result = subprocess.run(
+            [_sys.executable, "-m", "repro.analysis.bench",
+             "compare", old, new],
+            capture_output=True, text=True)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout

@@ -35,6 +35,7 @@ ALL_RULE_IDS = {
     "raw-unit-literal",
     "untiebroken-event",
     "mutable-default-arg",
+    "unguarded-trace-emit",
 }
 
 
@@ -44,7 +45,7 @@ def findings(fixture: str, rule_id: str):
     return [(v.rule, v.line) for v in analyze_file(FIXTURES / fixture, [rule])]
 
 
-def test_registry_has_the_six_shipped_rules():
+def test_registry_has_the_seven_shipped_rules():
     registry = registered_rules()
     assert ALL_RULE_IDS <= set(registry)
     for rule_id, rule_class in registry.items():
@@ -144,6 +145,24 @@ def test_mutable_default_positive():
 
 def test_mutable_default_negative():
     assert findings("mutable_default_ok.py", "mutable-default-arg") == []
+
+
+def test_unguarded_trace_emit_positive():
+    assert findings("trace_emit_bad.py", "unguarded-trace-emit") == [
+        ("unguarded-trace-emit", 5),  # self.tracer.emit(...)
+        ("unguarded-trace-emit", 7),  # tracer.emit(...) via local
+        ("unguarded-trace-emit", 9),  # guarded by the wrong flag
+    ]
+
+
+def test_unguarded_trace_emit_negative_guarded_forms():
+    assert findings("trace_emit_ok.py", "unguarded-trace-emit") == []
+
+
+def test_unguarded_trace_emit_exempts_tracer_module():
+    # The tracer implements emit; the exemption is by path, which the
+    # fixture mirrors (same mechanism as the sim/rng.py exemption).
+    assert findings("sim/trace.py", "unguarded-trace-emit") == []
 
 
 # ----------------------------------------------------------------------

@@ -107,6 +107,29 @@ def test_workers_not_passed_to_plain_runners(monkeypatch):
     assert main(["firewall", "--workers", "2"]) == 0
 
 
+def test_parser_accepts_profile_flag():
+    parser = build_parser()
+    assert parser.parse_args(["figure07"]).profile is None
+    assert parser.parse_args(["figure07", "--profile"]).profile == 25
+    assert parser.parse_args(["figure07", "--profile", "5"]).profile == 5
+
+
+def test_profile_prints_hotspots(monkeypatch, capsys):
+    def fake_run(duration=None, seed=0):
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "firewall", (fake_run, 60.0))
+    assert main(["firewall", "--profile", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "[profile: top 5 functions by cumulative time]" in out
+    assert "cumulative" in out  # the pstats table header
+
+
 def test_cli_writes_bench_record(tmp_path, capsys):
     from repro.analysis import bench
     assert main(["figure08", "--duration", "2",

@@ -1,0 +1,9 @@
+"""Fixture: per-packet trace emits without an ``enabled`` guard."""
+
+
+def receive(self, packet, now):
+    self.tracer.emit(now, "arrival", node=self.name)
+    tracer = self.tracer
+    tracer.emit(now, "queued", packet=packet.seq)
+    if self.verbose:
+        tracer.emit(now, "detail", packet=packet.seq)

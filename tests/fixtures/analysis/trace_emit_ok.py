@@ -1,0 +1,19 @@
+"""Fixture: every trace emit hides behind an ``enabled`` test."""
+
+
+def receive(self, packet, now):
+    tracer = self.tracer
+    if tracer.enabled:
+        tracer.emit(now, "arrival", node=self.name)
+    if self.tracer.enabled and packet.seq > 0:
+        self.tracer.emit(now, "data", packet=packet.seq)
+    tracer.enabled and tracer.emit(now, "inline", packet=packet.seq)
+    self.metrics.emit("counter", 1)  # not a tracer receiver
+
+
+def flush(self, session_id):
+    tracer = self.tracer
+    for packet in self.pending:
+        if tracer.enabled:
+            tracer.emit(self.sim.now, "flush", session=session_id,
+                        packet=packet.seq)

@@ -1,0 +1,60 @@
+"""Regression tests for link busy-time accounting.
+
+``busy_time`` used to be charged the *full* transmission at tx_start,
+so ``utilization()`` read mid-transmission — e.g. when ``run(until=…)``
+stops the clock inside a long packet — overstated the busy fraction,
+even exceeding 1.0.  It now accrues at completion and ``utilization``
+pro-rates the transmission still on the link.
+"""
+
+import pytest
+
+from repro.sched.fcfs import FCFS
+from tests.conftest import add_trace_session, make_network
+
+
+def _one_node_one_packet(length=1000.0):
+    # 1000 bits at 1000 bps: a 1-second transmission starting at t=0.
+    network = make_network(FCFS, capacity=1000.0)
+    add_trace_session(network, "s", rate=100.0, times=[0.0],
+                      lengths=length)
+    return network
+
+
+class TestBusyTimeAccrual:
+    def test_stopping_mid_transmission_does_not_overstate(self):
+        network = _one_node_one_packet()
+        network.run(0.5)
+        node = network.node("n1")
+        # Link has been busy the entire 0.5 s so far — and no more.
+        assert node.utilization() == pytest.approx(1.0)
+        # Not yet charged: the transmission has not completed.
+        assert node.busy_time == 0.0
+
+    def test_completed_transmission_charges_exactly_once(self):
+        network = _one_node_one_packet()
+        network.run(4.0)
+        node = network.node("n1")
+        assert node.busy_time == pytest.approx(1.0)
+        assert node.utilization() == pytest.approx(1.0 / 4.0)
+
+    def test_pro_rating_caps_at_full_transmission(self):
+        # Horizon beyond the transmission end but read while the packet
+        # is still marked in flight must never exceed the full L/C.
+        network = _one_node_one_packet()
+        network.run(0.5)
+        node = network.node("n1")
+        assert node.utilization(now=0.25) == pytest.approx(1.0)
+        # Utilization can never exceed 1.0 for a single link.
+        for horizon in (0.1, 0.5, 0.9):
+            assert node.utilization(now=horizon) <= 1.0 + 1e-12
+
+    def test_idle_gap_lowers_utilization(self):
+        network = make_network(FCFS, capacity=1000.0)
+        add_trace_session(network, "s", rate=100.0, times=[0.0, 3.0],
+                          lengths=1000.0)
+        network.run(3.5)
+        node = network.node("n1")
+        # First packet done (1 s busy), second mid-flight (0.5 s so far).
+        assert node.busy_time == pytest.approx(1.0)
+        assert node.utilization() == pytest.approx(1.5 / 3.5)
