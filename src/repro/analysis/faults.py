@@ -1,0 +1,206 @@
+"""Per-session accounting for faulted runs (see ``repro.faults``).
+
+Answers the questions a fault experiment asks after the run:
+
+* how many packets did each session lose, and to which fault
+  (``loss`` / ``corrupt`` / ``expired`` / ``flush``) versus ordinary
+  finite-buffer overflow (``buffer``)?
+* how long was each session exposed to an outage (links down or nodes
+  paused along its route, plus its own teardown windows)?
+* how often did delivered packets miss the session's end-to-end
+  deadline, and by how much — the deadline-miss-under-fault histogram
+  that shows whether an outage's backlog violates the paper's eq.-12
+  bound after recovery.
+
+Everything reads state the ``net`` and ``faults`` layers already keep;
+nothing here touches the simulation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.histogram import histogram
+from repro.analysis.report import format_table
+from repro.faults.injector import DROP_REASONS, FaultInjector
+from repro.net.network import Network
+from repro.net.sink import Sink
+
+__all__ = [
+    "SessionFaultStats",
+    "FaultReport",
+    "deadline_misses",
+    "miss_histogram",
+    "session_fault_stats",
+    "fault_report",
+]
+
+#: Reason label for ordinary finite-buffer overflow drops, which are
+#: not the fault layer's doing but belong in the same ledger.
+BUFFER_REASON = "buffer"
+
+
+@dataclass(frozen=True)
+class SessionFaultStats:
+    """One session's fault exposure over a run."""
+
+    session_id: str
+    sent: int
+    delivered: int
+    #: reason -> packets lost to it, summed along the route.  Keys are
+    #: :data:`repro.faults.injector.DROP_REASONS` plus ``"buffer"``.
+    drops: Dict[str, int]
+    #: Node-outage seconds summed along the route (a link-down and a
+    #: pause overlapping on different nodes both count) plus this
+    #: session's own teardown windows.
+    outage_s: float
+    #: Delivered packets whose end-to-end delay exceeded the bound
+    #: (-1 when no bound was given or no samples were kept).
+    deadline_misses: int
+    #: Packets with recorded delay samples (basis of the miss count).
+    observed: int
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.drops.values())
+
+    @property
+    def miss_fraction(self) -> float:
+        if self.deadline_misses < 0 or self.observed == 0:
+            return 0.0
+        return self.deadline_misses / self.observed
+
+
+def deadline_misses(sink: Sink, bound: float) -> Tuple[int, int]:
+    """``(misses, observed)`` for delivered packets against ``bound``.
+
+    Needs the sink's raw delay samples (``keep_samples=True``); without
+    them the answer is ``(-1, 0)`` — unknown, not zero.
+    """
+    series = sink.samples
+    if series is None:
+        return -1, 0
+    delays = np.asarray(series.values, dtype=float)
+    if delays.size == 0:
+        return 0, 0
+    return int(np.count_nonzero(delays > bound)), int(delays.size)
+
+
+def miss_histogram(sink: Sink, bound: float, *,
+                   bin_width: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of ``delay − bound`` over packets that missed.
+
+    Bin edges start at 0 (a packet exactly at the bound), widths in
+    seconds; masses are normalized over *missing* packets only, so the
+    shape shows how badly the recovery backlog overshoots, independent
+    of how rare misses are (pair with :func:`deadline_misses` for the
+    rate).  Raises if no packet missed — histogramming nothing is a
+    caller bug.
+    """
+    series = sink.samples
+    if series is None:
+        raise ValueError(
+            f"sink {sink.session_id!r} kept no delay samples; "
+            f"construct its session with keep_samples=True")
+    overshoot = [value - bound for value in series.values
+                 if value > bound]
+    return histogram(overshoot, bin_width, origin=0.0)
+
+
+def _route_drops(network: Network, session_id: str,
+                 route: Sequence[str]) -> Dict[str, int]:
+    """Sum per-reason drops along ``route``; buffer drops by residue."""
+    drops = {reason: 0 for reason in DROP_REASONS}
+    fault_total = 0
+    node_total = 0
+    for node_name in route:
+        node = network.nodes[node_name]
+        node_total += node.drop_count(session_id)
+        state = node.faults
+        if state is None:
+            continue
+        for reason in DROP_REASONS:
+            count = state.drops.get(reason, {}).get(session_id, 0)
+            drops[reason] += count
+            fault_total += count
+    drops[BUFFER_REASON] = node_total - fault_total
+    return {reason: count for reason, count in drops.items() if count}
+
+
+def session_fault_stats(network: Network, session_id: str, *,
+                        bound: Optional[float] = None,
+                        route: Optional[Sequence[str]] = None
+                        ) -> SessionFaultStats:
+    """Assemble one session's :class:`SessionFaultStats` after a run.
+
+    ``route`` is only needed for sessions no longer registered (torn
+    down without recovery); registered sessions supply their own.
+    """
+    session = network.sessions.get(session_id)
+    if route is None:
+        if session is None:
+            raise ValueError(
+                f"session {session_id!r} is not registered; pass its "
+                f"route explicitly")
+        route = session.route
+    sink = network.sinks[session_id]
+    injector = network.faults
+    outage = 0.0
+    if isinstance(injector, FaultInjector):
+        for node_name in route:
+            outage += injector.outage_seconds("link", node_name)
+            outage += injector.outage_seconds("pause", node_name)
+        outage += injector.outage_seconds("session", session_id)
+    misses, observed = (deadline_misses(sink, bound)
+                        if bound is not None else (-1, 0))
+    return SessionFaultStats(
+        session_id=session_id,
+        sent=session.packets_sent if session is not None
+        else sink.received,
+        delivered=sink.received,
+        drops=_route_drops(network, session_id, route),
+        outage_s=outage,
+        deadline_misses=misses,
+        observed=observed,
+    )
+
+
+@dataclass
+class FaultReport:
+    """Per-session fault accounting for every requested session."""
+
+    stats: List[SessionFaultStats]
+
+    def table(self, title: str = "Fault accounting") -> str:
+        rows = []
+        for s in self.stats:
+            drops = ", ".join(f"{reason}:{count}"
+                              for reason, count in sorted(s.drops.items())) \
+                or "-"
+            misses = "n/a" if s.deadline_misses < 0 \
+                else f"{s.deadline_misses}/{s.observed}"
+            rows.append((s.session_id, s.sent, s.delivered, drops,
+                         f"{s.outage_s:.3f}", misses))
+        return format_table(
+            ["session", "sent", "delivered", "drops", "outage(s)",
+             "misses"],
+            rows, title=title)
+
+
+def fault_report(network: Network, session_ids: Sequence[str], *,
+                 bounds: Optional[Dict[str, float]] = None
+                 ) -> FaultReport:
+    """Build a :class:`FaultReport` over ``session_ids``.
+
+    ``bounds`` maps session id -> end-to-end deadline in seconds for
+    the sessions whose miss counts matter.
+    """
+    bounds = bounds or {}
+    return FaultReport([
+        session_fault_stats(network, session_id,
+                            bound=bounds.get(session_id))
+        for session_id in session_ids
+    ])

@@ -291,26 +291,31 @@ class RawUnitLiteral(Rule):
 
 @register
 class UntiebrokenEvent(Rule):
-    """Net- and sched-layer schedule sites must state their tie-break.
+    """Net-, sched-, and fault-layer schedule sites must state their
+    tie-break.
 
     The kernel orders simultaneous events by ``(priority, insertion
     seq)`` and the data path's correctness depends on which of two
     same-instant events runs first (e.g. a packet's arrival at a node
     versus that node's transmitter looking for work, or a regulator
-    release versus a transmission completion).  An implicit default
-    priority at a ``net/`` or ``sched/`` call site means nobody
-    decided — the tie order is load-bearing, so write it down.
+    release versus a transmission completion).  Fault timers are the
+    sharpest case: a link-down that ties with a packet event must win
+    (``PRIORITY_FAULT``) or runs stop being bit-identical across
+    shards.  An implicit default priority at a ``net/``, ``sched/``,
+    or ``faults/`` call site means nobody decided — the tie order is
+    load-bearing, so write it down.
     """
 
     id = "untiebroken-event"
-    description = ("schedule()/schedule_at() in repro/net/ or "
-                   "repro/sched/ without an explicit priority= "
-                   "tie-break")
+    description = ("schedule()/schedule_at() in repro/net/, "
+                   "repro/sched/, or repro/faults/ without an "
+                   "explicit priority= tie-break")
 
     #: Path components whose schedule sites must pin the tie order:
-    #: the network data path and every service discipline (regulator
-    #: releases and frame boundaries race packet events).
-    _SCOPES: Tuple[str, ...] = ("net", "sched")
+    #: the network data path, every service discipline (regulator
+    #: releases and frame boundaries race packet events), and the
+    #: fault injector (fault timers race everything).
+    _SCOPES: Tuple[str, ...] = ("net", "sched", "faults")
 
     def check(self, context: FileContext) -> Iterator[Violation]:
         if not any(context.is_under(scope) for scope in self._SCOPES):

@@ -30,6 +30,7 @@ from repro.experiments.parallel import default_workers
 from repro.experiments import (
     ablation,
     call_churn,
+    fault_sweep,
     figure07,
     figure08,
     figure09,
@@ -56,6 +57,7 @@ _SIMULATED: Dict[str, tuple] = {
     "figure11": (figure11.run, 600.0),
     "figure12_13": (figure12_13.run, 600.0),
     "figure14_17": (figure14_17.run, 300.0),
+    "fault_sweep": (fault_sweep.run, 60.0),
     "firewall": (firewall.run, 60.0),
     "ablation": (ablation.run, 30.0),
     "hop_scaling": (hop_scaling.run, 60.0),

@@ -10,7 +10,7 @@ sources and :meth:`run` for experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.link import Link
@@ -21,6 +21,9 @@ from repro.net.sink import Sink
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["Network"]
 
@@ -47,6 +50,11 @@ class Network:
         #: id -> (session, keep_sink). Finalized when the last packet
         #: reaches its sink or is dropped.
         self._draining: Dict[str, Tuple[Session, bool]] = {}
+        #: Callbacks waiting for a draining session to finalize.
+        self._drained_callbacks: Dict[str, List[Callable[[], None]]] = {}
+        #: The armed fault injector, if any (see repro.faults); None in
+        #: fault-free runs, so the delivery path pays one check.
+        self.faults: Optional["FaultInjector"] = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -128,6 +136,25 @@ class Network:
         self._draining.pop(session.id, None)
         if not keep_sink:
             self.sinks.pop(session.id, None)
+        for callback in self._drained_callbacks.pop(session.id, ()):
+            callback()
+
+    def notify_when_drained(self, session_id: str,
+                            callback: Callable[[], None]) -> None:
+        """Run ``callback`` once ``session_id`` has no packets in flight.
+
+        Fires immediately when the session is not draining (already
+        finalized, or never removed); otherwise it runs right after
+        :meth:`_finalize_removal`, i.e. at the deterministic instant
+        the last in-flight packet reaches its sink or is dropped.
+        Fault recovery uses this to re-admit a torn-down session
+        without colliding with stale per-node state.
+        """
+        if session_id in self._draining:
+            self._drained_callbacks.setdefault(session_id, []) \
+                .append(callback)
+            return
+        callback()
 
     def _drain_progress(self, session_id: str) -> None:
         """A draining session's packet arrived or dropped; maybe finalize."""
@@ -180,6 +207,10 @@ class Network:
 
     def deliver(self, packet: Packet) -> None:
         """Move a transmitted packet to its next hop or its sink."""
+        faults = self.faults
+        if faults is not None and faults.is_corrupted(packet):
+            faults.corrupt_dropped(packet)
+            return
         session = packet.session
         if session.is_last_hop(packet.hop_index):
             self.sinks[session.id].receive(packet, self.sim.now)

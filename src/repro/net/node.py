@@ -35,6 +35,7 @@ from repro.sim.monitor import TimeSeries
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import NodeFaultState
     from repro.net.network import Network
     from repro.sched.base import Scheduler
 
@@ -71,6 +72,10 @@ class ServerNode:
         self.tracer = tracer or Tracer(False)
         scheduler.bind(self, sim, self.tracer)
         self.network: Optional["Network"] = None
+        #: Armed fault state, set by FaultInjector.install for nodes a
+        #: plan references; None otherwise, so the fault-free data path
+        #: pays exactly one ``is not None`` check per hook.
+        self.faults: Optional["NodeFaultState"] = None
 
         self.transmitting: Optional[Packet] = None
         #: Per-session buffer records (occupancy, peak, limit, monitor,
@@ -158,6 +163,11 @@ class ServerNode:
     def _try_start(self) -> None:
         if self.transmitting is not None:
             return
+        faults = self.faults
+        if faults is not None and faults.blocked:
+            # Link down or node paused: packets stay queued (and held
+            # packets keep maturing); recovery calls wakeup().
+            return
         now = self.sim.now
         packet = self.scheduler.next_packet(now)
         if packet is None:
@@ -205,6 +215,20 @@ class ServerNode:
         if self.network is None:
             raise SimulationError(
                 f"node {self.name} is not attached to a network")
+        faults = self.faults
+        if faults is not None:
+            verdict = faults.transmit_verdict(packet)
+            if verdict is not None:
+                if verdict == "corrupt":
+                    # Corrupted packets still occupy the link and the
+                    # downstream propagation delay; the next hop
+                    # discards them on arrival (Network.deliver).
+                    faults.mark_corrupted(packet)
+                else:
+                    self.fault_drop(packet, "loss",
+                                    release_buffer=False)
+                    self._try_start()
+                    return
         # Tie-break: NORMAL. With zero propagation the delivery lands at
         # this same instant; insertion order then runs it after this
         # completion handler's _try_start below, i.e. the downstream
@@ -212,6 +236,35 @@ class ServerNode:
         self.sim.schedule(self.link.propagation, self.network.deliver, packet,
                           priority=PRIORITY_NORMAL)
         self._try_start()
+
+    def fault_drop(self, packet: Packet, reason: str, *,
+                   release_buffer: bool) -> None:
+        """Discard ``packet`` for a fault ``reason`` at this node.
+
+        ``release_buffer`` is True for packets dropped while still
+        queued (flush, expired-on-recovery) so their bits leave the
+        occupancy accounting; transmission-side drops (loss, corrupt)
+        already released their bits at completion.  Every fault drop
+        lands in the same per-session ``drops`` counter the finite-
+        buffer path uses, which keeps ``Network._in_flight`` — and with
+        it the drain-then-forget machinery — exact under faults.
+        """
+        session_id = packet.session.id
+        buf = self._buffers.get(session_id)
+        if buf is not None:
+            if release_buffer:
+                buf.bits -= packet.length
+            buf.drops += 1
+        state = self.faults
+        if state is not None:
+            state.count_drop(reason, session_id)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, "fault_drop", node=self.name,
+                        session=session_id, packet=packet.seq,
+                        reason=reason)
+        if self.network is not None:
+            self.network.packet_dropped(packet)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -20,7 +20,7 @@ becomes available; the node never needs to know why it was woken.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
@@ -91,6 +91,41 @@ class Scheduler(ABC):
     def on_transmit_complete(self, packet: Packet, now: float) -> None:
         """The packet's last bit left the server (default: record lateness)."""
         self.lateness.observe(now - packet.deadline)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def flush(self, now: float) -> List[Packet]:
+        """Remove and return every queued packet (node restart).
+
+        The default drains through :meth:`next_packet`, which covers
+        any work-conserving discipline.  Packets inside *untracked*
+        regulator holds survive a flush and rejoin on release;
+        disciplines that track their hold events (Leave-in-Time)
+        override this to flush those too.  The caller owns the returned
+        packets and must account for them (the injector routes them to
+        :meth:`repro.net.node.ServerNode.fault_drop`).
+        """
+        flushed: List[Packet] = []
+        while True:
+            packet = self.next_packet(now)
+            if packet is None:
+                return flushed
+            flushed.append(packet)
+
+    def drop_expired(self, now: float) -> List[Packet]:
+        """Remove and return queued packets whose deadline passed.
+
+        Used by the ``drop_expired`` link-recovery policy: after an
+        outage, packets whose transmission deadline lapsed during the
+        downtime are worthless to a real-time session, so the injector
+        discards them instead of releasing a stale burst.  The default
+        returns nothing — correct for disciplines whose deadlines do
+        not encode timeliness (FCFS stamps deadline = arrival, so *all*
+        its queued packets would look expired).  Deadline-ordered
+        disciplines override.
+        """
+        return []
 
     # ------------------------------------------------------------------
     # Introspection

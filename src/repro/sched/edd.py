@@ -21,13 +21,14 @@ local bound, every prefix must satisfy ``Σ L_max/C ≤ d_j`` — see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.session import Session
 from repro.sched.base import Scheduler
-from repro.sched.calendar_queue import DeadlineQueue, HeapDeadlineQueue
+from repro.sched.calendar_queue import (DeadlineQueue, HeapDeadlineQueue,
+                                        drain_expired)
 from repro.sim.kernel import PRIORITY_NORMAL
 
 __all__ = ["DelayEDD", "JitterEDD", "edd_schedulable"]
@@ -116,6 +117,10 @@ class DelayEDD(Scheduler):
     def on_transmit_complete(self, packet: Packet, now: float) -> None:
         super().on_transmit_complete(packet, now)
         packet.holding_time = 0.0
+
+    def drop_expired(self, now: float) -> List[Packet]:
+        """Link recovery: discard eligible packets past their due date."""
+        return drain_expired(self._eligible, now)
 
     @property
     def backlog(self) -> int:

@@ -36,13 +36,14 @@ observed lateness stays below one maximum packet transmission time.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
 from repro.net.session import Session
 from repro.sched.base import Scheduler
-from repro.sched.calendar_queue import DeadlineQueue, HeapDeadlineQueue
+from repro.sched.calendar_queue import (DeadlineQueue, HeapDeadlineQueue,
+                                        drain_expired)
 from repro.sched.policy import DelayPolicy, virtual_clock_policy
 from repro.sim.events import Event
 from repro.sim.kernel import PRIORITY_NORMAL
@@ -249,3 +250,40 @@ class LeaveInTime(Scheduler):
     def session_state(self, session_id: str) -> _SessionState:
         """Expose per-session state for tests and diagnostics."""
         return self._sessions[session_id]
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def flush(self, now: float) -> List[Packet]:
+        """Node restart: empty the eligible queue *and* the regulators.
+
+        Unlike :meth:`forget_session`, per-session deadline state
+        (``k_prev``, resolved policy) survives — the session is still
+        admitted; only its buffered packets are lost.  Hold events are
+        cancelled through the same ``pending`` map the drain-then-forget
+        machinery uses, so ``_held`` can never leak.
+        """
+        flushed: List[Packet] = []
+        for state in self._sessions.values():
+            if not state.pending:
+                continue
+            for event, packet in state.pending.values():
+                event.cancel()
+                self._held -= 1
+                flushed.append(packet)
+            state.pending.clear()
+        while True:
+            packet = self._eligible.pop()
+            if packet is None:
+                break
+            flushed.append(packet)
+        return flushed
+
+    def drop_expired(self, now: float) -> List[Packet]:
+        """Link recovery: discard eligible packets whose deadline passed.
+
+        Held packets are untouched — their eligibility (and therefore
+        deadline) lies at or beyond their release instant, so they
+        cannot have expired yet.
+        """
+        return drain_expired(self._eligible, now)

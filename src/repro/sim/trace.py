@@ -6,6 +6,13 @@ check per event when tracing is off. Traces are used by the test suite
 to assert fine-grained scheduler behaviour (e.g. that a regulated packet
 was held exactly until its eligibility time) without coupling tests to
 internal data structures.
+
+Categories emitted by the data path: ``"arrival"``, ``"deadline"``,
+``"eligible"``, ``"tx_start"``, ``"tx_end"``, ``"drop"``, ``"flush"``.
+The fault layer (``repro.faults``) adds ``"link_down"``, ``"link_up"``,
+``"node_pause"``, ``"node_resume"``, ``"node_restart"``,
+``"fault_drop"``, ``"session_down"``, and ``"session_up"`` — all
+likewise guarded by ``tracer.enabled``.
 """
 
 from __future__ import annotations
@@ -74,6 +81,13 @@ class Tracer:
             if session is not None and record.session != session:
                 continue
             yield record
+
+    def count(self, category: Optional[str] = None, *,
+              node: Optional[str] = None,
+              session: Optional[str] = None) -> int:
+        """Number of records matching every given criterion."""
+        return sum(1 for _ in self.filter(category, node=node,
+                                          session=session))
 
     def clear(self) -> None:
         self.records.clear()

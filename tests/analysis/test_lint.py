@@ -130,7 +130,14 @@ def test_untiebroken_event_covers_sched_layer():
     ]
 
 
-def test_untiebroken_event_is_scoped_to_net_and_sched():
+def test_untiebroken_event_covers_faults_layer():
+    assert findings("faults/untiebroken_bad.py", "untiebroken-event") == [
+        ("untiebroken-event", 5),  # schedule_at(down_at, ...)
+        ("untiebroken-event", 6),  # schedule_at(up_at, ...)
+    ]
+
+
+def test_untiebroken_event_is_scoped_to_net_sched_and_faults():
     assert findings("untiebroken_outside_net_ok.py",
                     "untiebroken-event") == []
 

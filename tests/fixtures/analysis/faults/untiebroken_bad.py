@@ -1,0 +1,6 @@
+"""Fixture: fault-layer timer with implicit tie-break. Never imported."""
+
+
+def arm(sim, down_at, up_at, link_down, link_up):
+    sim.schedule_at(down_at, link_down)  # line 5: untiebroken-event
+    sim.schedule_at(up_at, link_up)  # line 6: untiebroken-event
