@@ -8,9 +8,9 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: ci test ruff repro-lint mypy perf-guard
+.PHONY: ci test ruff repro-lint repro-verify sanitize mypy perf-guard
 
-ci: test ruff repro-lint mypy perf-guard
+ci: test ruff repro-lint repro-verify sanitize mypy perf-guard
 	@echo "== ci: all jobs done =="
 
 test:
@@ -33,6 +33,15 @@ ruff:
 repro-lint:
 	@echo "== ci job: repro-lint =="
 	$(PYTHON) -m repro.analysis.lint.cli src
+
+repro-verify:
+	@echo "== ci job: repro-verify =="
+	$(PYTHON) -m repro.analysis.verify src
+
+sanitize:
+	@echo "== ci job: sanitize =="
+	$(PYTHON) -m repro figure07 --duration 1 --workers 1 --sanitize --bench-dir /tmp/repro-sanitize
+	$(PYTHON) -m repro fault_sweep --duration 5 --workers 2 --sanitize --bench-dir /tmp/repro-sanitize
 
 mypy:
 	@echo "== ci job: mypy =="

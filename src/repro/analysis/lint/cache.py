@@ -1,0 +1,154 @@
+"""On-disk result cache shared by ``repro-lint`` and ``repro-verify``.
+
+Warm whole-program runs must stay inside the PR 1 budget (~0.2 s
+in-process over the full tree), which rules out re-parsing ~100 files
+per invocation.  The cache stores, per analyzed file, either the lint
+findings (``kind="lint"``) or the semantic module summary used by the
+whole-program analyzer (``kind="verify"``), keyed by the file's
+``(path, mtime_ns, size)`` stat signature.
+
+Soundness
+---------
+A cached entry is only a function of the file's bytes and of the
+analyzer implementation, so two guards make reuse safe:
+
+* the stat signature — any content change (or ``touch``) invalidates
+  the entry;
+* an *implementation fingerprint* — a SHA-256 over the analyzer's own
+  source files (lint core + rules, verify model + rules) plus the
+  running Python version and a schema constant.  Editing any rule
+  invalidates every cache in one stroke, so stale findings can never
+  survive a rule change.
+
+The cache is strictly best-effort: unreadable, corrupt, or
+wrong-fingerprint cache files are silently discarded and rebuilt, and
+write failures (read-only checkouts, races) are swallowed.  ``--no-cache``
+bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "AnalysisCache",
+    "implementation_fingerprint",
+]
+
+#: Default cache directory, relative to the invocation cwd.
+DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
+
+#: Bump when the cached payload *schema* changes shape.
+_SCHEMA_VERSION = 1
+
+#: Analyzer sources folded into the fingerprint.  Any edit to a rule or
+#: to the extraction model must invalidate cached results.
+_IMPL_FILES = (
+    Path(__file__).resolve().parent / "core.py",
+    Path(__file__).resolve().parent / "rules.py",
+    Path(__file__).resolve().parent.parent / "verify" / "model.py",
+    Path(__file__).resolve().parent.parent / "verify" / "rules.py",
+)
+
+
+def implementation_fingerprint() -> str:
+    """SHA-256 over the analyzer implementation + interpreter version."""
+    digest = hashlib.sha256()
+    digest.update(f"schema={_SCHEMA_VERSION}".encode())
+    digest.update(f"python={sys.version_info[:2]}".encode())
+    for impl in _IMPL_FILES:
+        try:
+            digest.update(impl.read_bytes())
+        except OSError:  # pragma: no cover - impl file missing/unreadable
+            digest.update(b"<missing>")
+    return digest.hexdigest()
+
+
+def _stat_signature(path: Path) -> Optional[Dict[str, int]]:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return {"mtime_ns": stat.st_mtime_ns, "size": stat.st_size}
+
+
+class AnalysisCache:
+    """One JSON cache file (``<dir>/<kind>.json``) of per-file payloads."""
+
+    def __init__(self, directory: Path = DEFAULT_CACHE_DIR,
+                 kind: str = "lint") -> None:
+        self.path = Path(directory) / f"{kind}.json"
+        self._fingerprint = implementation_fingerprint()
+        self._entries: Dict[str, Dict[str, Any]] = self._load()
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict) \
+                or raw.get("fingerprint") != self._fingerprint:
+            return {}
+        entries = raw.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    # ------------------------------------------------------------------
+    # Per-file entries
+    # ------------------------------------------------------------------
+    def get(self, path: Path) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``path``, or None when stale/absent."""
+        entry = self._entries.get(str(path))
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.get("stat") != _stat_signature(path):
+            self.misses += 1
+            return None
+        self.hits += 1
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, path: Path, payload: Dict[str, Any]) -> None:
+        signature = _stat_signature(path)
+        if signature is None:
+            return
+        self._entries[str(path)] = {"stat": signature, "payload": payload}
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Write the cache atomically (tmp + rename); never raises."""
+        if not self._dirty:
+            return
+        document = {"fingerprint": self._fingerprint,
+                    "entries": self._entries}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name,
+                suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._dirty = False

@@ -1,0 +1,81 @@
+"""Discover files changed relative to a git revision (``--changed``).
+
+Pre-commit wants the linter on the handful of files a branch touches,
+not the whole tree.  ``changed_python_files`` asks git for the names:
+files differing from a base revision (``origin/main`` by default, with
+``main`` and then ``HEAD`` as fallbacks for checkouts without a
+remote) plus untracked files, filtered to ``*.py`` under the requested
+roots.  Deleted files are excluded by construction (``--diff-filter=d``
+and an existence check).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+__all__ = ["GitError", "changed_python_files", "resolve_base_revision"]
+
+#: Base revisions tried in order when ``--since`` is not given.
+_DEFAULT_BASES = ("origin/main", "main", "HEAD")
+
+
+class GitError(Exception):
+    """git was unavailable or the revision did not resolve."""
+
+
+def _git(*args: str) -> str:
+    try:
+        result = subprocess.run(
+            ["git", *args], capture_output=True, text=True, check=False)
+    except OSError as exc:  # pragma: no cover - git binary missing
+        raise GitError(f"git unavailable: {exc}") from exc
+    if result.returncode != 0:
+        raise GitError(
+            f"git {' '.join(args)} failed: {result.stderr.strip()}")
+    return result.stdout
+
+
+def resolve_base_revision(since: Optional[str] = None) -> str:
+    """The revision to diff against, validating that it exists."""
+    candidates = (since,) if since is not None else _DEFAULT_BASES
+    errors: List[str] = []
+    for candidate in candidates:
+        try:
+            _git("rev-parse", "--verify", "--quiet",
+                 f"{candidate}^{{commit}}")
+            return candidate
+        except GitError as exc:
+            errors.append(str(exc))
+    raise GitError(
+        f"no usable base revision among {', '.join(candidates)}: "
+        f"{errors[-1]}")
+
+
+def changed_python_files(roots: Iterable[Path],
+                         since: Optional[str] = None) -> List[Path]:
+    """``*.py`` files under ``roots`` differing from the base revision."""
+    base = resolve_base_revision(since)
+    names = _git("diff", "--name-only", "--diff-filter=d",
+                 base, "--").splitlines()
+    names += _git("ls-files", "--others",
+                  "--exclude-standard").splitlines()
+    root_list = [Path(root).resolve() for root in roots]
+    selected: List[Path] = []
+    seen = set()
+    for name in sorted(set(names)):
+        if not name.endswith(".py"):
+            continue
+        path = Path(name)
+        if not path.exists():
+            continue
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        if not any(root == resolved or root in resolved.parents
+                   for root in root_list):
+            continue
+        seen.add(resolved)
+        selected.append(path)
+    return selected

@@ -3,24 +3,39 @@
 Exit status: 0 when every analyzed file is clean, 1 when violations
 were found, 2 on usage errors or unanalyzable files.  Also installed
 as the ``repro-lint`` console script.
+
+Fast paths
+----------
+``--changed`` restricts the run to files differing from ``origin/main``
+(or ``--since REV``) plus untracked files — what pre-commit wants.
+Per-file findings are cached under ``.repro-lint-cache/`` keyed by
+``(path, mtime, size)`` and an analyzer-implementation fingerprint, so
+a warm full-tree run re-parses nothing; ``--no-cache`` bypasses it.
+The cache stores *full-rule-set* results only — a ``--select`` subset
+run neither reads nor writes it.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+import argparse
+
+from repro.analysis.lint.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.lint.changed import GitError, changed_python_files
 from repro.analysis.lint.core import (
     LintError,
-    analyze_paths,
+    Rule,
+    Violation,
+    analyze_file,
     iter_python_files,
     registered_rules,
 )
 from repro.analysis.lint.reporters import render_json, render_text
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "lint_paths"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,11 +52,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)")
     parser.add_argument(
         "--select", action="append", metavar="RULE", default=None,
-        help="run only this rule id (repeatable)")
+        help="run only this rule id (repeatable; disables the cache)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit")
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files differing from origin/main (or --since) "
+             "plus untracked files, restricted to the given paths")
+    parser.add_argument(
+        "--since", metavar="REV", default=None,
+        help="base revision for --changed (default: origin/main, "
+             "falling back to main, then HEAD)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-analyze every file instead of using the result cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=str(DEFAULT_CACHE_DIR),
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
     return parser
+
+
+def _violation_to_payload(violation: Violation) -> Dict[str, object]:
+    return {"path": violation.path, "line": violation.line,
+            "col": violation.col, "rule": violation.rule,
+            "message": violation.message}
+
+
+def _violation_from_payload(payload: Dict[str, object]) -> Violation:
+    return Violation(path=str(payload["path"]),
+                     line=int(payload["line"]),  # type: ignore[arg-type]
+                     col=int(payload["col"]),  # type: ignore[arg-type]
+                     rule=str(payload["rule"]),
+                     message=str(payload["message"]))
+
+
+def lint_paths(paths: Sequence[Path], rules: Sequence[Rule],
+               cache: Optional[AnalysisCache] = None) -> List[Violation]:
+    """Analyze files, reading/writing the per-file result cache."""
+    findings: List[Violation] = []
+    for path in iter_python_files(paths):
+        payload = cache.get(path) if cache is not None else None
+        if payload is not None and "violations" in payload:
+            cached = payload["violations"]
+            findings.extend(_violation_from_payload(item)
+                            for item in cached)
+            continue
+        file_findings = analyze_file(path, rules)
+        if cache is not None:
+            cache.put(path, {"violations": [
+                _violation_to_payload(v) for v in file_findings]})
+        findings.extend(file_findings)
+    return sorted(findings)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -62,19 +124,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(see --list-rules)")
     rules = [registry[rule_id]() for rule_id in selected]
 
-    paths: List[Path] = []
+    roots: List[Path] = []
     for raw in options.paths:
         path = Path(raw)
         if not path.exists():
             parser.error(f"no such file or directory: {raw}")
-        paths.append(path)
+        roots.append(path)
 
+    if options.changed:
+        try:
+            paths = changed_python_files(roots, since=options.since)
+        except GitError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("clean (no changed files)")
+            return 0
+    else:
+        paths = roots
+
+    # Cached entries hold full-rule-set results; a --select subset run
+    # must not read them (stale superset) nor overwrite them (subset).
+    use_cache = not options.no_cache and options.select is None
+    cache = AnalysisCache(Path(options.cache_dir), kind="lint") \
+        if use_cache else None
     files_checked = sum(1 for _ in iter_python_files(paths))
     try:
-        violations = analyze_paths(paths, rules)
+        violations = lint_paths(paths, rules, cache=cache)
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if cache is not None:
+            cache.save()
 
     renderer = render_json if options.format == "json" else render_text
     print(renderer(violations, files_checked=files_checked))

@@ -1,0 +1,38 @@
+"""Whole-program semantic analysis + runtime conservation sanitizer.
+
+Two coupled layers (see :doc:`docs/static_analysis` and
+:doc:`docs/sanitizer`):
+
+* **Static** — :mod:`.model` extracts cached per-file summaries and
+  joins them into a :class:`~repro.analysis.verify.model.Program`
+  (symbol table, call graph, dimension inference); :mod:`.rules` runs
+  four interprocedural rules over it; :mod:`.cli` is the
+  ``repro-verify`` entry point.
+* **Runtime** — :mod:`.sanitizer` installs conservation-law checkers
+  into a live simulation (``--sanitize`` / ``REPRO_SANITIZE=1``),
+  verifying per-node packet conservation, reservation sums, LiT label
+  monotonicity, and kernel-clock monotonicity with zero hot-path cost
+  when disabled.
+
+This ``__init__`` deliberately imports only the cheap AST-side API;
+the sanitizer (which touches simulator types) is imported lazily by
+:class:`repro.net.network.Network` when enabled.
+"""
+
+from repro.analysis.verify.core import (
+    analyze_program,
+    build_program,
+    default_rules,
+)
+from repro.analysis.verify.model import Program, summarize_file
+from repro.analysis.verify.rules import ProgramRule, registered_rules
+
+__all__ = [
+    "Program",
+    "ProgramRule",
+    "analyze_program",
+    "build_program",
+    "default_rules",
+    "registered_rules",
+    "summarize_file",
+]

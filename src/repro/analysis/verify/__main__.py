@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.verify`` — see :mod:`.cli`."""
+
+from repro.analysis.verify.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro.analysis.verify [paths]``.
+
+Exit status mirrors ``repro-lint``: 0 clean, 1 violations, 2 usage
+errors or unanalyzable files.  Also installed as the ``repro-verify``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.lint.core import LintError, iter_python_files
+from repro.analysis.lint.reporters import render_json, render_text
+from repro.analysis.verify.core import analyze_program
+from repro.analysis.verify.rules import registered_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description=("Whole-program semantic analysis for the "
+                     "Leave-in-Time reproduction: call-graph "
+                     "determinism, dimension inference, and "
+                     "reservation-balance rules."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", metavar="RULE", default=None,
+        help="run only this rule id (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-extract every file instead of using the summary cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=str(DEFAULT_CACHE_DIR),
+        help=f"summary cache directory (default: {DEFAULT_CACHE_DIR})")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    registry = registered_rules()
+
+    if options.list_rules:
+        for rule_id in sorted(registry):
+            print(f"{rule_id}: {registry[rule_id].description}")
+        return 0
+
+    selected = options.select or sorted(registry)
+    unknown = [rule_id for rule_id in selected if rule_id not in registry]
+    if unknown:
+        parser.error(
+            f"unknown rule(s): {', '.join(unknown)} "
+            f"(see --list-rules)")
+    rules = [registry[rule_id]() for rule_id in selected]
+
+    paths: List[Path] = []
+    for raw in options.paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such file or directory: {raw}")
+        paths.append(path)
+
+    cache = None if options.no_cache else AnalysisCache(
+        Path(options.cache_dir), kind="verify")
+    files_checked = sum(1 for _ in iter_python_files(paths))
+    try:
+        violations = analyze_program(paths, rules, cache=cache)
+    except LintError as exc:
+        print(f"repro-verify: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cache is not None:
+            cache.save()
+
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(violations, files_checked=files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

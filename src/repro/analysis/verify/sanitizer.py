@@ -1,0 +1,340 @@
+"""Runtime conservation-law sanitizer (``--sanitize`` / ``REPRO_SANITIZE=1``).
+
+The static rules in :mod:`repro.analysis.verify.rules` prove properties
+of the *code*; this module checks the corresponding properties of a
+*running simulation*:
+
+* **Packet conservation per node** — every packet whose last bit
+  arrived at a node is either forwarded, dropped, or still inside the
+  node (scheduler backlog + the one on the link).  Checked after every
+  arrival, forward, and drop, and again at end of run.
+* **Reservation sums** — at every admission-state change, each node's
+  committed rate stays ≤ its link capacity (paper eq. 18's invariant),
+  with the same epsilon the admission layer uses.
+* **Leave-in-Time label monotonicity** — per (node, session), the
+  deadline ``F_i`` and virtual-clock ``K_i`` recursions (paper
+  eqs. 10-11) never decrease, and no packet is served before its
+  regulator eligibility time (eq. 6-8).
+* **Kernel clock** — dispatch timestamps never regress.
+
+Cost model: hooks live behind the same ``x = self.sanitizer; if x is
+not None:`` pattern as fault injection and tracing, so a run without
+``--sanitize`` executes exactly one extra ``is not None`` test per hook
+site — and the kernel pays *zero*, because the sanitized dispatch loop
+is a separate branch selected once per ``run()`` call.
+
+Violations are collected (capped) rather than raised at the offending
+instant, so one report shows every broken invariant of a run;
+:meth:`Network.run` raises :class:`SanitizerError` at the end when any
+were recorded.  The report is structured JSON (:class:`SanitizerReport`)
+for CI consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.units import TIME_EPSILON
+
+__all__ = [
+    "MAX_VIOLATIONS",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "SanitizerViolation",
+    "sanitize_enabled",
+]
+
+#: Keep at most this many violations; one broken invariant often
+#: triggers on every subsequent packet, and an unbounded list would
+#: turn a diagnostic into an OOM.
+MAX_VIOLATIONS = 50
+
+#: Reservation tolerance.  Deliberately the same value as
+#: ``repro.admission.base.RATE_EPSILON`` (kept literal here so the
+#: sanitizer package never imports the layer it is checking); the unit
+#: test ``test_sanitizer.py::test_rate_epsilon_matches_admission``
+#: pins the two together.
+RATE_EPSILON = 1e-6
+
+
+class SanitizerError(SimulationError):
+    """A sanitized run finished with recorded invariant violations.
+
+    Carries the report as its single ``str`` argument (the JSON
+    document), so the exception survives pickling across the parallel
+    runner's process pool, which rebuilds exceptions from ``args``.
+    """
+
+    @property
+    def report_json(self) -> str:
+        return str(self.args[0]) if self.args else "{}"
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One broken invariant at one simulated instant."""
+
+    check: str
+    time: float
+    message: str
+    node: Optional[str] = None
+    session: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "check": self.check,
+            "time": self.time,
+            "message": self.message,
+        }
+        if self.node is not None:
+            payload["node"] = self.node
+        if self.session is not None:
+            payload["session"] = self.session
+        return payload
+
+
+@dataclass
+class SanitizerReport:
+    """Structured result of a sanitized run."""
+
+    violations: List[SanitizerViolation] = field(default_factory=list)
+    dropped_violations: int = 0
+    events_checked: int = 0
+    packets_injected: int = 0
+    packets_sunk: int = 0
+    checks_run: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.dropped_violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "violations": [v.to_dict() for v in self.violations],
+            "dropped_violations": self.dropped_violations,
+            "events_checked": self.events_checked,
+            "packets_injected": self.packets_injected,
+            "packets_sunk": self.packets_sunk,
+            "checks_run": self.checks_run,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+class _NodeLedger:
+    """Per-node packet accounting: arrivals, forwards, drops."""
+
+    __slots__ = ("arrivals", "forwarded", "dropped")
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.forwarded = 0
+        self.dropped = 0
+
+
+def sanitize_enabled(value: Optional[str]) -> bool:
+    """Truthiness of the ``REPRO_SANITIZE`` environment variable."""
+    return value is not None and value.strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+class Sanitizer:
+    """Collects conservation-law checks for one simulation run.
+
+    One instance is shared by the :class:`~repro.sim.kernel.Simulator`,
+    every :class:`~repro.net.node.ServerNode`, every scheduler, and the
+    :class:`~repro.admission.controller.AdmissionController` of a
+    network.  All hooks are O(1) except the conservation identity,
+    which reads one scheduler ``backlog`` property.
+    """
+
+    def __init__(self, max_violations: int = MAX_VIOLATIONS) -> None:
+        self.max_violations = max_violations
+        self.violations: List[SanitizerViolation] = []
+        self.dropped_violations = 0
+        self.events_checked = 0
+        self.checks_run = 0
+        self.injected = 0
+        self.sunk = 0
+        self._ledgers: Dict[str, _NodeLedger] = {}
+        #: Last seen (K_i, F_i) per (node, session); cleared on
+        #: teardown so a re-admitted session restarts its recursion.
+        self._lit_labels: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, check: str, time: float, message: str, *,
+               node: Optional[str] = None,
+               session: Optional[str] = None) -> None:
+        if len(self.violations) >= self.max_violations:
+            self.dropped_violations += 1
+            return
+        self.violations.append(SanitizerViolation(
+            check=check, time=time, message=message, node=node,
+            session=session))
+
+    def report(self) -> SanitizerReport:
+        return SanitizerReport(
+            violations=list(self.violations),
+            dropped_violations=self.dropped_violations,
+            events_checked=self.events_checked,
+            packets_injected=self.injected,
+            packets_sunk=self.sunk,
+            checks_run=self.checks_run)
+
+    # ------------------------------------------------------------------
+    # Kernel hooks
+    # ------------------------------------------------------------------
+    def on_clock_regression(self, now: float, event_time: float) -> None:
+        self.record(
+            "clock-monotonic", now,
+            f"dispatch time {event_time!r} precedes the clock {now!r}")
+
+    # ------------------------------------------------------------------
+    # Network / node hooks (packet conservation)
+    # ------------------------------------------------------------------
+    def _ledger(self, name: str) -> _NodeLedger:
+        ledger = self._ledgers.get(name)
+        if ledger is None:
+            ledger = self._ledgers[name] = _NodeLedger()
+        return ledger
+
+    def on_inject(self, packet: Any) -> None:
+        self.injected += 1
+
+    def on_sink(self, packet: Any) -> None:
+        self.sunk += 1
+
+    def on_receive(self, node: Any, packet: Any) -> None:
+        """A packet was accepted into ``node``'s buffer."""
+        self._ledger(node.name).arrivals += 1
+        self._check_conservation(node)
+
+    def on_buffer_drop(self, node: Any, packet: Any) -> None:
+        """A packet hit a finite buffer limit and was discarded."""
+        ledger = self._ledger(node.name)
+        ledger.arrivals += 1
+        ledger.dropped += 1
+        self._check_conservation(node)
+
+    def on_forward(self, node: Any, packet: Any) -> None:
+        """A packet finished transmission and left toward the next hop."""
+        self._ledger(node.name).forwarded += 1
+        self._check_conservation(node)
+
+    def on_fault_drop(self, node: Any, packet: Any, reason: str) -> None:
+        """A fault discarded a packet at ``node``.
+
+        ``corrupt`` drops are *reclassifications*: the transmitter
+        already counted the packet as forwarded when it scheduled the
+        delivery, then the next hop discarded it and charged the drop
+        back to the transmitter (see ``FaultInjector.corrupt_dropped``).
+        No conservation check here: flush/restart fault paths mutate
+        scheduler state in loops, and the identity is only required to
+        hold at the data-path hooks above (and at :meth:`finalize`).
+        """
+        ledger = self._ledger(node.name)
+        ledger.dropped += 1
+        if reason == "corrupt":
+            ledger.forwarded -= 1
+
+    def _check_conservation(self, node: Any) -> None:
+        self.checks_run += 1
+        ledger = self._ledgers[node.name]
+        try:
+            backlog = node.scheduler.backlog
+        except NotImplementedError:
+            return  # discipline exposes no occupancy; skip the identity
+        in_node = backlog + (1 if node.transmitting is not None else 0)
+        expected = ledger.forwarded + ledger.dropped + in_node
+        if ledger.arrivals != expected:  # repro: disable=float-time-equality -- integer packet counters, not timestamps
+            self.record(
+                "packet-conservation", node.sim.now,
+                f"arrivals={ledger.arrivals} != forwarded="
+                f"{ledger.forwarded} + dropped={ledger.dropped} + "
+                f"in_node={in_node}", node=node.name)
+
+    # ------------------------------------------------------------------
+    # Admission hooks (reservation sums)
+    # ------------------------------------------------------------------
+    def check_reservations(self, procedures: Mapping[str, Any],
+                           now: float = 0.0) -> None:
+        """Assert reserved-rate ≤ capacity at every node, right now."""
+        self.checks_run += 1
+        for node_name in sorted(procedures):
+            procedure = procedures[node_name]
+            reserved = procedure.reserved_rate
+            capacity = procedure.capacity
+            if reserved > capacity + RATE_EPSILON:
+                self.record(
+                    "reservation-capacity", now,
+                    f"committed rate {reserved!r} exceeds link capacity "
+                    f"{capacity!r}", node=node_name)
+
+    # ------------------------------------------------------------------
+    # Leave-in-Time hooks (label monotonicity, eligibility)
+    # ------------------------------------------------------------------
+    def on_lit_labels(self, node_name: str, session_id: str,
+                      deadline: float, k: float, now: float) -> None:
+        """Scheduler assigned ``F_i``/``K_i`` labels to one packet."""
+        self.checks_run += 1
+        key = (node_name, session_id)
+        previous = self._lit_labels.get(key)
+        if previous is not None:
+            k_prev, f_prev = previous
+            if k < k_prev - TIME_EPSILON:
+                self.record(
+                    "lit-k-monotone", now,
+                    f"K recursion decreased: {k!r} < {k_prev!r}",
+                    node=node_name, session=session_id)
+            if deadline < f_prev - TIME_EPSILON:
+                self.record(
+                    "lit-f-monotone", now,
+                    f"deadline recursion decreased: {deadline!r} < "
+                    f"{f_prev!r}", node=node_name, session=session_id)
+        self._lit_labels[key] = (k, deadline)
+
+    def on_lit_serve(self, node_name: str, packet: Any,
+                     now: float) -> None:
+        """Scheduler handed a packet to the link for transmission."""
+        self.checks_run += 1
+        if packet.eligible_time > now + TIME_EPSILON:
+            self.record(
+                "lit-eligible-before-serve", now,
+                f"packet #{packet.seq} served at {now!r} before its "
+                f"eligibility time {packet.eligible_time!r}",
+                node=node_name, session=packet.session.id)
+
+    def on_lit_forget(self, node_name: str, session_id: str) -> None:
+        """Per-session scheduler state torn down; restart the recursion."""
+        self._lit_labels.pop((node_name, session_id), None)
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def finalize(self, network: Any) -> None:
+        """Whole-network balance checks once the run stops."""
+        for name in sorted(network.nodes):
+            self._check_conservation(network.nodes[name])
+        # Wire balance: every forwarded packet either sank, arrived at
+        # the next hop, or is still mid-propagation — so forwards minus
+        # sinks can never fall short of the inter-node handoffs
+        # (``in-flight on the wire`` is the nonnegative difference).
+        self.checks_run += 1
+        total_forwarded = sum(led.forwarded
+                              for led in self._ledgers.values())
+        total_arrivals = sum(led.arrivals
+                             for led in self._ledgers.values())
+        handoffs = total_arrivals - self.injected
+        if total_forwarded - self.sunk < handoffs:
+            self.record(
+                "wire-balance", network.sim.now,
+                f"forwarded={total_forwarded} - sunk={self.sunk} "
+                f"under-explains inter-node handoffs={handoffs}")

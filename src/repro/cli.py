@@ -25,6 +25,7 @@ import sys
 from typing import Callable, Dict, Optional
 
 from repro.analysis import bench
+from repro.analysis.verify.sanitizer import SanitizerError
 from repro.experiments.parallel import default_workers
 
 from repro.experiments import (
@@ -102,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under cProfile and print the top N "
                              "functions by cumulative time "
                              "(default N: 25)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="install runtime conservation-law checkers "
+                             "(packet conservation, reservation sums, "
+                             "LiT label monotonicity, clock "
+                             "monotonicity); equivalent to "
+                             "REPRO_SANITIZE=1; violations abort with "
+                             "a JSON report")
     return parser
 
 
@@ -141,6 +149,12 @@ def main(argv: Optional[list] = None) -> int:
     workers = args.workers if args.workers is not None \
         else default_workers()
     bench.configure(enabled=True, directory=args.bench_dir)
+    if args.sanitize:
+        # The env var (not a threaded parameter) is the switch so the
+        # parallel runner's pool workers — which inherit the
+        # environment — sanitize their shards too.
+        import os
+        os.environ["REPRO_SANITIZE"] = "1"
     names = (sorted(_SIMULATED) + sorted(_ANALYTIC)
              if args.experiment == "all" else [args.experiment])
     profiler = None
@@ -153,8 +167,16 @@ def main(argv: Optional[list] = None) -> int:
             if name in _ANALYTIC:
                 print(_ANALYTIC[name]().table())
             else:
-                print(_run_simulated(name, args.duration, args.seed,
-                                     args.full, args.csv, workers))
+                try:
+                    print(_run_simulated(name, args.duration, args.seed,
+                                         args.full, args.csv, workers))
+                except SanitizerError as error:
+                    print(f"[sanitize] {name}: VIOLATIONS",
+                          file=sys.stderr)
+                    print(error.report_json, file=sys.stderr)
+                    return 1
+                if args.sanitize:
+                    print(f"[sanitize] {name}: clean")
             print()
     finally:
         if profiler is not None:

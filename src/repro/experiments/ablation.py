@@ -28,7 +28,7 @@ from repro.experiments.common import (
 from repro.net.topology import build_paper_network
 from repro.sched.calendar_queue import ApproximateDeadlineQueue
 from repro.sched.leave_in_time import LeaveInTime
-from repro.units import ms, to_ms
+from repro.units import ATM_PACKET_BITS, T1_RATE_BPS, ms, to_ms
 
 __all__ = ["AblationOutcome", "AblationResult", "run"]
 
@@ -108,7 +108,7 @@ def run(*, duration: float = 20.0, seed: int = 0,
     the T1 link (424/1536000 s ≈ 0.276 ms).
     """
     if bin_width is None:
-        bin_width = 424.0 / 1.536e6
+        bin_width = ATM_PACKET_BITS / T1_RATE_BPS
     outcomes = {
         "heap": _run_one("heap", None, duration=duration, seed=seed),
         "calendar": _run_one(

@@ -34,6 +34,7 @@ from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.session import Session
 from repro.net.topology import build_paper_network
 from repro.sched.leave_in_time import LeaveInTime
+from repro.sim.kernel import PRIORITY_NORMAL
 from repro.sim.rng import ExponentialSampler
 from repro.traffic.onoff import OnOffSource
 from repro.units import ms, to_ms
@@ -124,7 +125,8 @@ class _ChurnDriver:
 
     def start(self) -> None:
         self.network.sim.schedule(self._arrival_gap.sample(),
-                                  self._call_arrives)
+                                  self._call_arrives,
+                                  priority=PRIORITY_NORMAL)
 
     def _call_arrives(self) -> None:
         sim = self.network.sim
@@ -150,8 +152,9 @@ class _ChurnDriver:
             source.start()
             self._sources[call_id] = (session, source)
             sim.schedule(self._holding.sample(), self._call_ends,
-                         call_id)
-        sim.schedule(self._arrival_gap.sample(), self._call_arrives)
+                         call_id, priority=PRIORITY_NORMAL)
+        sim.schedule(self._arrival_gap.sample(), self._call_arrives,
+                     priority=PRIORITY_NORMAL)
 
     def _call_ends(self, call_id: int) -> None:
         session, source = self._sources.pop(call_id)

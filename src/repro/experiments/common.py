@@ -141,7 +141,7 @@ def build_mix_network(a_off: float, *,
                                         PAPER_PACKET_BITS),
                           monitor_buffer=session_id in monitor_buffer_ids)
         if admit is not None:
-            admit(network, session)
+            admit(network, session)  # repro: disable=unreleased-reservation -- caller-supplied callback wrapping AdmissionController.admit, which is transactional (releases on rejection)
         network.add_session(session,
                             keep_samples=session_id in sample_ids)
         OnOffSource(network, session, length=PAPER_PACKET_BITS,

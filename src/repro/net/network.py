@@ -10,6 +10,7 @@ sources and :meth:`run` for experiments.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SimulationError
@@ -23,6 +24,7 @@ from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.verify.sanitizer import Sanitizer
     from repro.faults.injector import FaultInjector
 
 __all__ = ["Network"]
@@ -33,8 +35,26 @@ class Network:
 
     def __init__(self, *, sim: Optional[Simulator] = None, seed: int = 0,
                  tracer: Optional[Tracer] = None,
-                 l_max_network: Optional[float] = None) -> None:
+                 l_max_network: Optional[float] = None,
+                 sanitizer: Optional["Sanitizer"] = None) -> None:
         self.sim = sim or Simulator()
+        if sanitizer is None and os.environ.get("REPRO_SANITIZE"):
+            # Lazy import: the sanitizer module (and the env check
+            # itself) must cost nothing on the default path, and the
+            # analysis package pulls numpy/scipy-weight modules.
+            from repro.analysis.verify.sanitizer import (
+                Sanitizer as _Sanitizer,
+                sanitize_enabled,
+            )
+            if sanitize_enabled(os.environ.get("REPRO_SANITIZE")):
+                sanitizer = _Sanitizer()
+        #: Conservation-law checker (``--sanitize`` /
+        #: ``REPRO_SANITIZE=1``); shared with the kernel, every node,
+        #: every scheduler, and the admission controller.  None in
+        #: normal runs — the hooks are single ``is not None`` checks.
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            self.sim.sanitizer = sanitizer
         self.streams = RandomStreams(seed)
         self.tracer = tracer or Tracer(False)
         self.nodes: Dict[str, ServerNode] = {}
@@ -67,6 +87,9 @@ class Network:
         link = Link(capacity, propagation)
         node = ServerNode(name, link, scheduler, self.sim, self.tracer)
         node.network = self
+        if self.sanitizer is not None:
+            node.sanitizer = self.sanitizer
+            scheduler.sanitizer = self.sanitizer
         self.nodes[name] = node
         return node
 
@@ -202,6 +225,9 @@ class Network:
         session.packets_sent += 1
         packet = Packet(session, session.packets_sent, length, self.sim.now)
         packet.hop_index = 0
+        san = self.sanitizer
+        if san is not None:
+            san.on_inject(packet)
         self.nodes[session.route[0]].receive(packet)
         return packet
 
@@ -213,6 +239,9 @@ class Network:
             return
         session = packet.session
         if session.is_last_hop(packet.hop_index):
+            san = self.sanitizer
+            if san is not None:
+                san.on_sink(packet)
             self.sinks[session.id].receive(packet, self.sim.now)
             if self._draining:
                 self._drain_progress(session.id)
@@ -228,12 +257,23 @@ class Network:
         self.sources.append(source)
 
     def run(self, duration: float) -> None:
-        """Start all sources (idempotently) and run for ``duration`` seconds."""
+        """Start all sources (idempotently) and run for ``duration`` seconds.
+
+        Under ``--sanitize``, end-of-run balance checks execute here
+        and a :class:`~repro.analysis.verify.sanitizer.SanitizerError`
+        is raised when any invariant was violated during the run.
+        """
         for source in self.sources:
             start = getattr(source, "start", None)
             if start is not None and not getattr(source, "started", False):
                 start()
         self.sim.run(until=duration)
+        san = self.sanitizer
+        if san is not None:
+            san.finalize(self)
+            if san.violations or san.dropped_violations:
+                from repro.analysis.verify.sanitizer import SanitizerError
+                raise SanitizerError(san.report().to_json())
 
     # ------------------------------------------------------------------
     # Convenience accessors

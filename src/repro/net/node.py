@@ -35,6 +35,7 @@ from repro.sim.monitor import TimeSeries
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.verify.sanitizer import Sanitizer
     from repro.faults.injector import NodeFaultState
     from repro.net.network import Network
     from repro.sched.base import Scheduler
@@ -76,6 +77,10 @@ class ServerNode:
         #: plan references; None otherwise, so the fault-free data path
         #: pays exactly one ``is not None`` check per hook.
         self.faults: Optional["NodeFaultState"] = None
+        #: Conservation-law checker (``--sanitize``), set by
+        #: ``Network.add_node``; None costs one check per hook, exactly
+        #: like ``faults``.
+        self.sanitizer: Optional["Sanitizer"] = None
 
         self.transmitting: Optional[Packet] = None
         #: Per-session buffer records (occupancy, peak, limit, monitor,
@@ -138,6 +143,9 @@ class ServerNode:
             if tracer.enabled:
                 tracer.emit(now, "drop", node=self.name,
                             session=session_id, packet=packet.seq)
+            san = self.sanitizer
+            if san is not None:
+                san.on_buffer_drop(self, packet)
             if self.network is not None:
                 self.network.packet_dropped(packet)
             return
@@ -154,6 +162,9 @@ class ServerNode:
             tracer.emit(now, "arrival", node=self.name,
                         session=session_id, packet=packet.seq)
         self.scheduler.on_arrival(packet, now)
+        san = self.sanitizer
+        if san is not None:
+            san.on_receive(self, packet)
         self._try_start()
 
     def wakeup(self) -> None:
@@ -235,6 +246,9 @@ class ServerNode:
         # arrival never preempts this node's own dequeue decision.
         self.sim.schedule(self.link.propagation, self.network.deliver, packet,
                           priority=PRIORITY_NORMAL)
+        san = self.sanitizer
+        if san is not None:
+            san.on_forward(self, packet)
         self._try_start()
 
     def fault_drop(self, packet: Packet, reason: str, *,
@@ -250,6 +264,9 @@ class ServerNode:
         it the drain-then-forget machinery — exact under faults.
         """
         session_id = packet.session.id
+        san = self.sanitizer
+        if san is not None:
+            san.on_fault_drop(self, packet, reason)
         buf = self._buffers.get(session_id)
         if buf is not None:
             if release_buffer:

@@ -30,6 +30,7 @@ from repro.sim.monitor import Tally
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.verify.sanitizer import Sanitizer
     from repro.net.node import ServerNode
 
 __all__ = ["Scheduler"]
@@ -42,6 +43,9 @@ class Scheduler(ABC):
         self.node: Optional["ServerNode"] = None
         self.sim: Optional[Simulator] = None
         self.tracer: Tracer = Tracer(False)
+        #: Conservation-law checker (``--sanitize``), set by
+        #: ``Network.add_node``; None on the default path.
+        self.sanitizer: Optional["Sanitizer"] = None
         #: finish_time − deadline for disciplines that assign deadlines;
         #: Leave-in-Time's scheduler-saturation check is
         #: ``max lateness < L_MAX / C`` (paper: F̂ < F + L_MAX/C).

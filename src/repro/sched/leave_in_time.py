@@ -143,6 +143,10 @@ class LeaveInTime(Scheduler):
                         session=session.id, packet=packet.seq,
                         eligible=eligible_at, deadline=packet.deadline,
                         k=state.k_prev)
+        san = self.sanitizer
+        if san is not None:
+            san.on_lit_labels(self.node.name, session.id,
+                              packet.deadline, state.k_prev, now)
 
         if eligible_at <= now:
             self._eligible.push(packet)
@@ -172,7 +176,11 @@ class LeaveInTime(Scheduler):
         self._wake_node()
 
     def next_packet(self, now: float) -> Optional[Packet]:
-        return self._eligible.pop()
+        packet = self._eligible.pop()
+        san = self.sanitizer
+        if san is not None and packet is not None:
+            san.on_lit_serve(self.node.name, packet, now)
+        return packet
 
     def on_transmit_complete(self, packet: Packet, now: float) -> None:
         super().on_transmit_complete(packet, now)
@@ -233,11 +241,16 @@ class LeaveInTime(Scheduler):
         down through :meth:`repro.net.network.Network.remove_session`,
         which defers this call until the session has fully drained.
         """
+        san = self.sanitizer
+        if san is not None:
+            # A re-admitted session restarts its K/F recursion from the
+            # current clock; drop the stale monotonicity baseline.
+            san.on_lit_forget(self.node.name, session_id)
         state = self._sessions.pop(session_id, None)
         if state is None or not state.pending:
             return
         tracer = self.tracer
-        for event, packet in state.pending.values():
+        for event, packet in state.pending.values():  # repro: disable=nondeterministic-iteration -- pending is keyed by monotonically increasing seq and dicts preserve insertion order, so this iteration is deterministic
             event.cancel()
             self._held -= 1
             self._eligible.push(packet)

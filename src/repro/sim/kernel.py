@@ -35,10 +35,13 @@ from __future__ import annotations
 
 import heapq
 from math import inf
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import FREE_LIST_MAX, Event, EventQueue, _recycled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.verify.sanitizer import Sanitizer
 
 _heappush = heapq.heappush
 
@@ -78,7 +81,7 @@ def _raise_stop() -> None:
 class Simulator:
     """Discrete-event simulator: virtual clock plus event loop."""
 
-    __slots__ = ("_queue", "now", "_running", "_dispatched")
+    __slots__ = ("_queue", "now", "_running", "_dispatched", "sanitizer")
 
     def __init__(self) -> None:
         self._queue = EventQueue()
@@ -89,6 +92,10 @@ class Simulator:
         self.now = 0.0
         self._running = False
         self._dispatched = 0
+        #: Runtime invariant checker (``--sanitize``); ``None`` keeps
+        #: the fused fast loops untouched — the sanitized loop is a
+        #: separate branch selected once per ``run()`` call.
+        self.sanitizer: Optional["Sanitizer"] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -213,15 +220,53 @@ class Simulator:
         # (nothing in the tree reads it from inside a callback) and the
         # attribute round-trip costs ~5% of a bare dispatch.
         dispatched = 0
+        # Bound before ``try`` so the BaseException handler can always
+        # read it, whichever branch ran.
+        stop: Optional[Event] = None
+        san = self.sanitizer
         try:
-            if max_events is None:
+            if san is not None:
+                # Sanitized loop: per-event bounds checks and a clock
+                # monotonicity probe.  Deliberately a separate branch —
+                # the fast loops below stay byte-for-byte untouched
+                # when the sanitizer is off.
+                limit = inf if until is None else until
+                remaining = inf if max_events is None else max_events
+                while heap and remaining > 0:
+                    time, priority, seq, event = heappop(heap)
+                    if event.cancelled:
+                        if (refcount(event) == _DISPATCH_REFS
+                                and len(free) < FREE_LIST_MAX):
+                            event.callback = _recycled
+                            event.args = ()
+                            free.append(event)
+                        continue
+                    if time > limit:
+                        heappush(heap, (time, priority, seq, event))
+                        break
+                    if time < self.now:
+                        san.on_clock_regression(self.now, time)
+                    queue._live -= 1
+                    remaining -= 1
+                    self.now = time
+                    dispatched += 1
+                    callback = event.callback
+                    args = event.args
+                    event.cancelled = True
+                    callback(*args)
+                    if (refcount(event) == _DISPATCH_REFS
+                            and len(free) < FREE_LIST_MAX):
+                        event.callback = _recycled
+                        event.args = ()
+                        free.append(event)
+                san.events_checked += dispatched
+            elif max_events is None:
                 # Fast loop: no per-event bounds checks at all.  The
                 # ``until`` horizon is a sentinel event in the heap that
                 # sorts after every real event at the same time (huge
                 # priority) and whose callback raises the private
                 # ``_Stop``; an empty heap surfaces as ``IndexError``
                 # from ``heappop``.  Both cost nothing per event.
-                stop: Optional[Event] = None
                 if until is not None:
                     if until < self.now:
                         return self.now
@@ -297,7 +342,7 @@ class Simulator:
         except BaseException:
             # A callback blew up with the sentinel still queued: defuse
             # it so a future run() cannot trip over a stale horizon.
-            if max_events is None and stop is not None:
+            if stop is not None:
                 stop.cancelled = True
             raise
         finally:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.errors import SimulationError
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import PRIORITY_NORMAL, Simulator
 
 __all__ = ["Process"]
 
@@ -39,7 +39,8 @@ class Process:
 
     def start(self, delay: float = 0.0) -> "Process":
         """Schedule the first resumption after ``delay`` seconds."""
-        self._pending = self._sim.schedule(delay, self._resume)
+        self._pending = self._sim.schedule(delay, self._resume,
+                                           priority=PRIORITY_NORMAL)
         return self
 
     def stop(self) -> None:
@@ -66,4 +67,5 @@ class Process:
         if delay < 0:
             raise SimulationError(
                 f"process {self.name!r} yielded negative delay {delay!r}")
-        self._pending = self._sim.schedule(float(delay), self._resume)
+        self._pending = self._sim.schedule(float(delay), self._resume,
+                                           priority=PRIORITY_NORMAL)

@@ -1,0 +1,207 @@
+"""Result cache and ``--changed`` fast paths of the analyzers.
+
+The cache contract under test: a warm run re-analyzes *nothing*; any
+stat change (content edit, ``touch``) or analyzer-implementation edit
+invalidates; ``--no-cache`` and ``--select`` bypass; corrupt cache
+files are rebuilt, not trusted.  The ``--changed`` tests run against a
+throwaway git repository built in ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+import repro.analysis.lint.cli as lint_cli
+from repro.analysis.lint.cache import AnalysisCache, implementation_fingerprint
+from repro.analysis.lint.changed import (
+    GitError,
+    changed_python_files,
+    resolve_base_revision,
+)
+
+BAD_SOURCE = "import time\n\nNOW = time.time()\n"
+OK_SOURCE = "X = 1\n"
+
+
+# ----------------------------------------------------------------------
+# AnalysisCache unit behaviour
+# ----------------------------------------------------------------------
+def test_cache_round_trip_and_stat_invalidation(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(OK_SOURCE)
+
+    cache = AnalysisCache(tmp_path / "cache", kind="lint")
+    assert cache.get(target) is None  # cold
+    cache.put(target, {"violations": []})
+    assert cache.get(target) == {"violations": []}
+    cache.save()
+
+    reloaded = AnalysisCache(tmp_path / "cache", kind="lint")
+    assert reloaded.get(target) == {"violations": []}
+    assert reloaded.hits == 1
+
+    target.write_text(OK_SOURCE + "Y = 2\n")  # stat signature changes
+    assert reloaded.get(target) is None
+
+
+def test_cache_rejects_corrupt_and_wrong_fingerprint_files(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(OK_SOURCE)
+    cache_file = tmp_path / "cache" / "lint.json"
+    cache_file.parent.mkdir()
+
+    cache_file.write_text("not json{")
+    assert AnalysisCache(tmp_path / "cache").get(target) is None
+
+    cache_file.write_text(json.dumps({
+        "fingerprint": "0" * 64,
+        "entries": {str(target): {"stat": None, "payload": {}}}}))
+    assert AnalysisCache(tmp_path / "cache").get(target) is None
+
+
+def test_fingerprint_is_stable_within_a_process():
+    assert implementation_fingerprint() == implementation_fingerprint()
+    assert len(implementation_fingerprint()) == 64
+
+
+def test_lint_and_verify_kinds_are_separate_files(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(OK_SOURCE)
+    lint = AnalysisCache(tmp_path / "cache", kind="lint")
+    verify = AnalysisCache(tmp_path / "cache", kind="verify")
+    lint.put(target, {"violations": []})
+    lint.save()
+    verify.put(target, {"summary": {"module": "mod"}})
+    verify.save()
+    assert (tmp_path / "cache" / "lint.json").exists()
+    assert (tmp_path / "cache" / "verify.json").exists()
+    assert AnalysisCache(tmp_path / "cache",
+                         kind="verify").get(target) == {
+        "summary": {"module": "mod"}}
+
+
+# ----------------------------------------------------------------------
+# CLI: warm runs re-analyze nothing
+# ----------------------------------------------------------------------
+def _count_analyze_calls(monkeypatch):
+    calls = []
+    real = lint_cli.analyze_file
+
+    def counting(path, rules):
+        calls.append(path)
+        return real(path, rules)
+
+    monkeypatch.setattr(lint_cli, "analyze_file", counting)
+    return calls
+
+
+def test_warm_cli_run_skips_analysis_entirely(tmp_path, monkeypatch, capsys):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    (tmp_path / "ok.py").write_text(OK_SOURCE)
+    cache_dir = str(tmp_path / "cache")
+    calls = _count_analyze_calls(monkeypatch)
+
+    assert lint_cli.main([str(tmp_path), "--cache-dir", cache_dir]) == 1
+    assert len(calls) == 2  # cold: both files parsed
+    cold_out = capsys.readouterr().out
+    assert "no-wallclock" in cold_out
+
+    calls.clear()
+    assert lint_cli.main([str(tmp_path), "--cache-dir", cache_dir]) == 1
+    assert calls == []  # warm: zero re-analysis
+    assert "no-wallclock" in capsys.readouterr().out  # findings replayed
+
+    # Editing one file re-analyzes exactly that file.
+    (tmp_path / "ok.py").write_text(OK_SOURCE + "Y = 2\n")
+    calls.clear()
+    assert lint_cli.main([str(tmp_path), "--cache-dir", cache_dir]) == 1
+    assert calls == [tmp_path / "ok.py"]
+
+
+def test_no_cache_flag_always_reanalyzes(tmp_path, monkeypatch):
+    (tmp_path / "ok.py").write_text(OK_SOURCE)
+    cache_dir = str(tmp_path / "cache")
+    calls = _count_analyze_calls(monkeypatch)
+    for _ in range(2):
+        assert lint_cli.main([str(tmp_path), "--cache-dir", cache_dir,
+                              "--no-cache"]) == 0
+    assert len(calls) == 2
+    assert not (tmp_path / "cache").exists()
+
+
+def test_select_subset_bypasses_the_cache(tmp_path, monkeypatch):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    cache_dir = str(tmp_path / "cache")
+    calls = _count_analyze_calls(monkeypatch)
+    # A subset run must not seed the cache with subset results...
+    assert lint_cli.main([str(tmp_path), "--cache-dir", cache_dir,
+                          "--select", "no-ambient-random"]) == 0
+    assert not (tmp_path / "cache").exists()
+    # ...and a later full run must analyze from scratch.
+    calls.clear()
+    assert lint_cli.main([str(tmp_path), "--cache-dir", cache_dir]) == 1
+    assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# --changed against a throwaway git repository
+# ----------------------------------------------------------------------
+def _git(cwd, *args):
+    subprocess.run(["git", *args], cwd=cwd, check=True,
+                   capture_output=True, text=True)
+
+
+@pytest.fixture()
+def git_repo(tmp_path, monkeypatch):
+    _git(tmp_path, "init", "-q", "-b", "main")
+    _git(tmp_path, "config", "user.email", "t@example.invalid")
+    _git(tmp_path, "config", "user.name", "t")
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "committed.py").write_text(OK_SOURCE)
+    (src / "untouched.py").write_text(OK_SOURCE)
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_changed_python_files_tracks_edits_and_untracked(git_repo):
+    src = git_repo / "src"
+    assert changed_python_files([src], since="HEAD") == []
+
+    (src / "committed.py").write_text(OK_SOURCE + "Y = 2\n")
+    (src / "fresh.py").write_text(OK_SOURCE)
+    (src / "notes.txt").write_text("not python\n")
+    changed = changed_python_files([src], since="HEAD")
+    assert sorted(p.name for p in changed) == ["committed.py", "fresh.py"]
+
+    # Files outside the requested roots are filtered out.
+    (git_repo / "elsewhere.py").write_text(OK_SOURCE)
+    changed = changed_python_files([src], since="HEAD")
+    assert sorted(p.name for p in changed) == ["committed.py", "fresh.py"]
+
+
+def test_resolve_base_revision_falls_back_to_head(git_repo):
+    # No origin/main here, so the documented fallback chain ends at a
+    # resolvable local revision.
+    assert resolve_base_revision(None) in ("main", "HEAD")
+    with pytest.raises(GitError):
+        resolve_base_revision("no-such-rev")
+
+
+def test_changed_cli_paths(git_repo, capsys):
+    assert lint_cli.main(["src", "--changed", "--since", "HEAD",
+                          "--no-cache"]) == 0
+    assert "no changed files" in capsys.readouterr().out
+
+    (git_repo / "src" / "dirty.py").write_text(BAD_SOURCE)
+    assert lint_cli.main(["src", "--changed", "--since", "HEAD",
+                          "--no-cache"]) == 1
+    assert "no-wallclock" in capsys.readouterr().out
+
+    assert lint_cli.main(["src", "--changed", "--since", "no-such-rev",
+                          "--no-cache"]) == 2

@@ -1,0 +1,22 @@
+"""BAD: three flavours of dimension mixing."""
+
+from repro.units import Mbps, ms
+
+WINDOW = ms(5.0)
+LINK = Mbps(1.5)
+
+
+def add_time_to_rate(deadline: float, rate: float) -> float:
+    return deadline + rate
+
+
+def compare_size_to_time(length: float, holding: float) -> bool:
+    return length < holding
+
+
+def rate_where_deadline_expected(sim, rate: float) -> None:
+    sim.schedule_at(rate, print, priority=0)
+
+
+def constant_mix() -> float:
+    return WINDOW + LINK

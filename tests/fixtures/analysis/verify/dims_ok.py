@@ -1,0 +1,22 @@
+"""OK: the same shapes with consistent dimensions."""
+
+from repro.units import Mbps, ms
+
+WINDOW = ms(5.0)
+LINK = Mbps(1.5)
+
+
+def add_times(deadline: float, holding: float) -> float:
+    return deadline + holding + WINDOW
+
+
+def compare_times(deadline: float, now: float) -> bool:
+    return deadline < now
+
+
+def length_over_rate_is_time(sim, length: float, rate: float) -> None:
+    sim.schedule_at(length / rate, print, priority=0)
+
+
+def scaled_constant() -> float:
+    return 2.0 * WINDOW

@@ -1,0 +1,5 @@
+"""Callee that enqueues an event — two edges from the loop body."""
+
+
+def kick(sim, packet):
+    sim.schedule(0.0, packet.send, priority=0)

@@ -1,0 +1,14 @@
+"""BAD: set iteration whose body reaches the event queue via a call.
+
+The loop body never touches ``schedule`` directly — only the
+whole-program call graph can see that ``kick`` does.
+"""
+
+from typing import Set
+
+from nondet_bad.helpers import kick
+
+
+def drain(sim, waiting: Set[object]) -> None:
+    for packet in waiting:
+        kick(sim, packet)

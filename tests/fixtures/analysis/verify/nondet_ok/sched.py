@@ -1,0 +1,10 @@
+"""OK: the set is sorted before iterating, so dispatch order is pinned."""
+
+from typing import Set
+
+from nondet_ok.helpers import kick
+
+
+def drain(sim, waiting: Set[object]) -> None:
+    for packet in sorted(waiting):
+        kick(sim, packet)

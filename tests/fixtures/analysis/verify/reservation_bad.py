@@ -1,0 +1,6 @@
+"""BAD: reserves in a loop with no release on any exit edge."""
+
+
+def grab_all(procedure, sessions):
+    for session in sessions:
+        procedure.reserve(session)

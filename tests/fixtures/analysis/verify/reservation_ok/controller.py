@@ -1,0 +1,13 @@
+"""Transactional admit: reserves, releases on the failure edge."""
+
+
+class Controller:
+    def __init__(self, procedure):
+        self.procedure = procedure
+
+    def admit(self, session):
+        try:
+            self.procedure.reserve(session)
+        except Exception:
+            self.procedure.release(session)
+            raise

@@ -1,0 +1,13 @@
+"""OK: the looped admit is transactional — only the call graph knows.
+
+``Controller.admit`` lives in another module; per-file analysis sees a
+bare ``controller.admit(...)`` in a loop and nothing else.
+"""
+
+from reservation_ok.controller import Controller
+
+
+def churn(procedure, sessions):
+    controller = Controller(procedure)
+    for session in sessions:
+        controller.admit(session)

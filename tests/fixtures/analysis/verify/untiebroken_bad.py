@@ -1,0 +1,9 @@
+"""BAD: schedules without a priority tie-break (tree-wide scope)."""
+
+
+def arm(sim, callback):
+    sim.schedule(0.0, callback)
+
+
+def arm_at(sim, callback, when: float):
+    sim.schedule_at(when, callback)

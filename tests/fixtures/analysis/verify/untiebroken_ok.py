@@ -1,0 +1,11 @@
+"""OK: every event carries an explicit tie-break priority."""
+
+PRIORITY_NORMAL = 0
+
+
+def arm(sim, callback):
+    sim.schedule(0.0, callback, priority=PRIORITY_NORMAL)
+
+
+def arm_at(sim, callback, when: float):
+    sim.schedule_at(when, callback, priority=PRIORITY_NORMAL)

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import repro
 from repro.analysis.lint import analyze_paths, registered_rules, render_text
+from repro.analysis.verify import analyze_program
 
 SRC_REPRO = Path(repro.__file__).resolve().parent
 
@@ -23,6 +24,15 @@ def test_src_tree_passes_static_analysis():
     violations = analyze_paths([SRC_REPRO], rules)
     assert not violations, (
         "static analysis violations in src/repro "
+        "(fix them, or suppress with a justified '# repro: disable=' "
+        "comment — see docs/static_analysis.md):\n"
+        + render_text(violations))
+
+
+def test_src_tree_passes_whole_program_analysis():
+    violations = analyze_program([SRC_REPRO])
+    assert not violations, (
+        "whole-program (repro-verify) violations in src/repro "
         "(fix them, or suppress with a justified '# repro: disable=' "
         "comment — see docs/static_analysis.md):\n"
         + render_text(violations))
