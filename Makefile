@@ -8,9 +8,11 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: ci test ruff repro-lint repro-verify sanitize mypy perf-guard
+.PHONY: ci test ruff repro-lint repro-verify repro-det perturb-smoke \
+	sanitize mypy perf-guard
 
-ci: test ruff repro-lint repro-verify sanitize mypy perf-guard
+ci: test ruff repro-lint repro-verify repro-det perturb-smoke sanitize \
+	mypy perf-guard
 	@echo "== ci: all jobs done =="
 
 test:
@@ -37,6 +39,15 @@ repro-lint:
 repro-verify:
 	@echo "== ci job: repro-verify =="
 	$(PYTHON) -m repro.analysis.verify src
+
+repro-det:
+	@echo "== ci job: repro-det =="
+	$(PYTHON) -m repro.analysis.det src
+
+perturb-smoke:
+	@echo "== ci job: perturb-smoke =="
+	$(PYTHON) -m repro.analysis.det --perturb --scenario fig07 \
+		--horizon 0.15 --rounds 1 --bench-dir /tmp/repro-perturb
 
 sanitize:
 	@echo "== ci job: sanitize =="

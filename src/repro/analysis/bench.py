@@ -19,8 +19,13 @@ The JSON schema is flat and versioned::
       "workers": 4,
       "simulated_s": 140.0,
       "cells": 7,
-      "git_rev": "d11f973"
+      "git_rev": "d11f973",
+      "deterministic": true
     }
+
+``deterministic`` is stamped by the ``repro-det --perturb`` differ
+(true/false) and ``null`` for runs whose reproducibility was not
+dynamically verified.
 
 ``simulated_s`` is the *total* simulated horizon across all cells of
 the sweep (duration × cells for a uniform sweep), so
@@ -92,6 +97,11 @@ class BenchRecord:
     cells: int
     git_rev: str
     schema: int = SCHEMA_VERSION
+    #: Verdict of the schedule-perturbation differ for this run:
+    #: True/False when ``repro-det --perturb`` checked it, None when
+    #: reproducibility was not dynamically verified.  Additive with a
+    #: default, so schema-1 records (and readers) stay valid.
+    deterministic: Optional[bool] = None
 
 
 class Stopwatch:
@@ -128,7 +138,8 @@ def git_rev() -> str:
 
 def make_record(experiment: str, *, wall_time_s: float,
                 events_dispatched: int, workers: int,
-                simulated_s: float, cells: int) -> BenchRecord:
+                simulated_s: float, cells: int,
+                deterministic: Optional[bool] = None) -> BenchRecord:
     """Assemble a record, deriving events/sec and the git revision."""
     rate = events_dispatched / wall_time_s if wall_time_s > 0 else 0.0
     return BenchRecord(
@@ -140,6 +151,7 @@ def make_record(experiment: str, *, wall_time_s: float,
         simulated_s=simulated_s,
         cells=cells,
         git_rev=git_rev(),
+        deterministic=deterministic,
     )
 
 

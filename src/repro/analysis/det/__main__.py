@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.det`` — see :mod:`.cli`."""
+
+from repro.analysis.det.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

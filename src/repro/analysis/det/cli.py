@@ -1,0 +1,207 @@
+"""Command-line entry point: ``python -m repro.analysis.det [paths]``.
+
+Exit status mirrors ``repro-lint``/``repro-verify``: 0 clean, 1
+findings (or perturbation divergence), 2 usage errors or unanalyzable
+files.  Also installed as the ``repro-det`` console script.
+
+Two halves share the entry point:
+
+* the default **static** run — the three determinism rules over the
+  given paths, with the shared summary cache, ``--select``,
+  ``--changed`` (report only findings in files differing from the base
+  revision — what pre-commit wants; the whole program is still
+  assembled so cross-module facts stay exact), and text/JSON output;
+* ``--perturb`` — the dynamic schedule-perturbation differ: rerun a
+  scenario under shuffled tie-break, shuffled session registration,
+  and ``workers=1`` vs ``workers=N``, and diff observables + traces.
+  With ``--bench-dir`` the verdict is stamped into a
+  ``BENCH_perturb-<scenario>.json`` record (``deterministic`` field).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.lint.changed import GitError, changed_python_files
+from repro.analysis.lint.core import LintError, iter_python_files
+from repro.analysis.lint.reporters import render_json, render_text
+from repro.analysis.det.core import analyze_determinism
+from repro.analysis.det.rules import registered_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-det",
+        description=("Determinism & parallel-safety analysis for the "
+                     "Leave-in-Time reproduction: shared-state, "
+                     "RNG-stream, and merge-order rules, plus the "
+                     "schedule-perturbation differ (--perturb)."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", metavar="RULE", default=None,
+        help="run only this rule id (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files differing from origin/main "
+             "(or --since) plus untracked files; the whole program is "
+             "still analyzed so cross-module facts stay exact")
+    parser.add_argument(
+        "--since", metavar="REV", default=None,
+        help="base revision for --changed (default: origin/main, "
+             "falling back to main, then HEAD)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-extract every file instead of using the summary cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=str(DEFAULT_CACHE_DIR),
+        help=f"summary cache directory (default: {DEFAULT_CACHE_DIR})")
+    perturb = parser.add_argument_group("perturbation differ")
+    perturb.add_argument(
+        "--perturb", action="store_true",
+        help="run the schedule-perturbation differ instead of the "
+             "static rules")
+    perturb.add_argument(
+        "--scenario", default="fig07",
+        help="scenario to perturb (default: fig07)")
+    perturb.add_argument(
+        "--modes", default=None, metavar="M1,M2",
+        help="comma-separated subset of tiebreak,registration,workers "
+             "(default: all)")
+    perturb.add_argument(
+        "--horizon", type=float, default=0.25, metavar="SECONDS",
+        help="simulated seconds per perturbation run (default: 0.25)")
+    perturb.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="pool width of the workers mode (default: 4)")
+    perturb.add_argument(
+        "--rounds", type=int, default=2, metavar="N",
+        help="perturbation seeds per single-run mode (default: 2)")
+    perturb.add_argument(
+        "--bench-dir", metavar="DIR", default=None,
+        help="write a BENCH_perturb-<scenario>.json record (with the "
+             "deterministic verdict) into this directory")
+    return parser
+
+
+def _run_perturb(options: argparse.Namespace,
+                 parser: argparse.ArgumentParser) -> int:
+    # Imported here: the differ pulls the experiment stack, which the
+    # static path (CI's hot path) must not pay for.
+    from repro.analysis import bench
+    from repro.analysis.det.perturb import (
+        DEFAULT_MODES,
+        perturb_scenario,
+        scenarios,
+    )
+
+    registry = scenarios()
+    if options.scenario not in registry:
+        parser.error(f"unknown scenario {options.scenario!r} "
+                     f"(available: {', '.join(sorted(registry))})")
+    modes: Sequence[str] = DEFAULT_MODES
+    if options.modes:
+        modes = tuple(part.strip() for part in options.modes.split(",")
+                      if part.strip())
+        unknown = [mode for mode in modes if mode not in DEFAULT_MODES]
+        if unknown:
+            parser.error(f"unknown perturbation mode(s): "
+                         f"{', '.join(unknown)} "
+                         f"(available: {', '.join(DEFAULT_MODES)})")
+    watch = bench.Stopwatch()
+    scenario = registry[options.scenario]()
+    report = perturb_scenario(scenario, modes, horizon=options.horizon,
+                              workers=options.workers,
+                              rounds=options.rounds)
+    print(report.render())
+    if options.bench_dir is not None:
+        record = bench.make_record(
+            f"perturb-{report.scenario}",
+            wall_time_s=watch.elapsed(),
+            events_dispatched=report.events,
+            workers=options.workers if "workers" in report.modes else 1,
+            simulated_s=options.horizon * report.runs,
+            cells=report.runs,
+            deterministic=report.deterministic,
+        )
+        bench.write_record(record, options.bench_dir)
+    return 0 if report.deterministic else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    registry = registered_rules()
+
+    if options.list_rules:
+        for rule_id in sorted(registry):
+            print(f"{rule_id}: {registry[rule_id].description}")
+        return 0
+
+    if options.perturb:
+        return _run_perturb(options, parser)
+
+    selected = options.select or sorted(registry)
+    unknown = [rule_id for rule_id in selected if rule_id not in registry]
+    if unknown:
+        parser.error(
+            f"unknown rule(s): {', '.join(unknown)} "
+            f"(see --list-rules)")
+    rules = [registry[rule_id]() for rule_id in selected]
+
+    paths: List[Path] = []
+    for raw in options.paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such file or directory: {raw}")
+        paths.append(path)
+
+    changed: Optional[List[Path]] = None
+    if options.changed:
+        try:
+            changed = changed_python_files(paths, since=options.since)
+        except GitError as exc:
+            print(f"repro-det: error: {exc}", file=sys.stderr)
+            return 2
+        if not changed:
+            print("clean (no changed files)")
+            return 0
+
+    cache = None if options.no_cache else AnalysisCache(
+        Path(options.cache_dir), kind="det")
+    files_checked = sum(1 for _ in iter_python_files(paths))
+    try:
+        violations = analyze_determinism(paths, rules, cache=cache)
+    except LintError as exc:
+        print(f"repro-det: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cache is not None:
+            cache.save()
+
+    if changed is not None:
+        changed_set = {str(path.resolve()) for path in changed}
+        violations = [violation for violation in violations
+                      if str(Path(violation.path).resolve())
+                      in changed_set]
+
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(violations, files_checked=files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

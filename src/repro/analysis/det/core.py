@@ -1,0 +1,49 @@
+"""Driver assembling the Program and running the determinism rules.
+
+Mirrors :mod:`repro.analysis.verify.core` deliberately: the same
+per-file summaries feed both analyzers, cached under separate
+per-analyzer namespaces (``.repro-lint-cache/det.json``), and rule
+evaluation re-runs every invocation against the assembled
+cross-module facts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.analysis.lint.cache import AnalysisCache
+from repro.analysis.lint.core import LintError, Violation
+from repro.analysis.det.rules import registered_rules
+from repro.analysis.verify.core import build_program
+from repro.analysis.verify.rules import ProgramRule
+
+__all__ = [
+    "analyze_determinism",
+    "build_program",
+    "default_rules",
+    "LintError",
+]
+
+
+def default_rules() -> List[ProgramRule]:
+    """Instances of every registered determinism rule."""
+    return [rule_class() for rule_class in
+            sorted(registered_rules().values(), key=lambda r: r.id)]
+
+
+def analyze_determinism(paths: Iterable[Path],
+                        rules: Optional[Iterable[ProgramRule]] = None,
+                        cache: Optional[AnalysisCache] = None
+                        ) -> List[Violation]:
+    """Run the determinism rules over ``paths``, honouring suppressions."""
+    program = build_program(paths, cache=cache)
+    rule_list = list(rules) if rules is not None else default_rules()
+    findings: List[Violation] = []
+    for rule in rule_list:
+        for violation in rule.check(program):
+            if program.is_suppressed(violation.path, violation.line,
+                                     violation.rule):
+                continue
+            findings.append(violation)
+    return sorted(findings)

@@ -1,11 +1,11 @@
-"""On-disk result cache shared by ``repro-lint`` and ``repro-verify``.
+"""On-disk result cache shared by the ``repro-*`` analyzers.
 
 Warm whole-program runs must stay inside the PR 1 budget (~0.2 s
 in-process over the full tree), which rules out re-parsing ~100 files
-per invocation.  The cache stores, per analyzed file, either the lint
+per invocation.  The cache stores, per analyzed file, the lint
 findings (``kind="lint"``) or the semantic module summary used by the
-whole-program analyzer (``kind="verify"``), keyed by the file's
-``(path, mtime_ns, size)`` stat signature.
+whole-program analyzers (``kind="verify"``, ``kind="det"``), keyed by
+the file's ``(path, mtime_ns, size)`` stat signature.
 
 Soundness
 ---------
@@ -14,11 +14,19 @@ analyzer implementation, so two guards make reuse safe:
 
 * the stat signature — any content change (or ``touch``) invalidates
   the entry;
-* an *implementation fingerprint* — a SHA-256 over the analyzer's own
-  source files (lint core + rules, verify model + rules) plus the
-  running Python version and a schema constant.  Editing any rule
-  invalidates every cache in one stroke, so stale findings can never
-  survive a rule change.
+* a **per-analyzer** implementation fingerprint — a SHA-256 over the
+  cache ``kind`` plus exactly the source files whose output that kind
+  caches (lint: core + lint rules, since findings are cached; verify
+  and det: core + the extraction model, since only per-file summaries
+  are cached and rules re-run every invocation), plus the running
+  Python version and a schema constant.  Editing an analyzer
+  invalidates its own caches in one stroke, and because the ``kind``
+  itself is hashed, an entry written by one analyzer can never
+  validate for another — even if a cache file is copied or a future
+  analyzer reuses a directory.  Before this namespacing, all kinds
+  shared one fingerprint over the union of every analyzer's sources,
+  so a payload cached under one analyzer's semantics was
+  indistinguishable from another's.
 
 The cache is strictly best-effort: unreadable, corrupt, or
 wrong-fingerprint cache files are silently discarded and rebuilt, and
@@ -46,24 +54,55 @@ __all__ = [
 DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
 
 #: Bump when the cached payload *schema* changes shape.
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
-#: Analyzer sources folded into the fingerprint.  Any edit to a rule or
-#: to the extraction model must invalidate cached results.
-_IMPL_FILES = (
-    Path(__file__).resolve().parent / "core.py",
-    Path(__file__).resolve().parent / "rules.py",
-    Path(__file__).resolve().parent.parent / "verify" / "model.py",
-    Path(__file__).resolve().parent.parent / "verify" / "rules.py",
-)
+_LINT_DIR = Path(__file__).resolve().parent
+_ANALYSIS_DIR = _LINT_DIR.parent
+
+#: Analyzer sources folded into each kind's fingerprint: exactly the
+#: files whose output that kind caches.  ``lint`` caches *findings*, so
+#: its rules are included; ``verify`` and ``det`` cache only per-file
+#: extraction summaries (rules re-run every invocation against the
+#: assembled program), so only the shared extraction model is hashed —
+#: editing a whole-program rule must not cold-start summary extraction.
+_IMPL_FILES_BY_KIND = {
+    "lint": (
+        _LINT_DIR / "core.py",
+        _LINT_DIR / "rules.py",
+    ),
+    "verify": (
+        _LINT_DIR / "core.py",
+        _LINT_DIR / "rules.py",  # keyword tables feed dimension seeds
+        _ANALYSIS_DIR / "verify" / "model.py",
+    ),
+    "det": (
+        _LINT_DIR / "core.py",
+        _LINT_DIR / "rules.py",
+        _ANALYSIS_DIR / "verify" / "model.py",
+    ),
+}
 
 
-def implementation_fingerprint() -> str:
-    """SHA-256 over the analyzer implementation + interpreter version."""
+def implementation_fingerprint(kind: str = "lint") -> str:
+    """SHA-256 over one analyzer's implementation + interpreter version.
+
+    The ``kind`` string itself is hashed, so two analyzers whose
+    implementation files happen to coincide (verify and det share the
+    extraction model) still produce distinct fingerprints — a cache
+    file can only ever validate for the analyzer that wrote it.
+    """
     digest = hashlib.sha256()
     digest.update(f"schema={_SCHEMA_VERSION}".encode())
+    digest.update(f"kind={kind}".encode())
     digest.update(f"python={sys.version_info[:2]}".encode())
-    for impl in _IMPL_FILES:
+    impl_files = _IMPL_FILES_BY_KIND.get(kind)
+    if impl_files is None:
+        # Unknown kinds hash every analyzer source: maximally eager
+        # invalidation is the safe default for a cache.
+        impl_files = tuple(sorted(
+            {impl for files in _IMPL_FILES_BY_KIND.values()
+             for impl in files}))
+    for impl in impl_files:
         try:
             digest.update(impl.read_bytes())
         except OSError:  # pragma: no cover - impl file missing/unreadable
@@ -85,7 +124,7 @@ class AnalysisCache:
     def __init__(self, directory: Path = DEFAULT_CACHE_DIR,
                  kind: str = "lint") -> None:
         self.path = Path(directory) / f"{kind}.json"
-        self._fingerprint = implementation_fingerprint()
+        self._fingerprint = implementation_fingerprint(kind)
         self._entries: Dict[str, Dict[str, Any]] = self._load()
         self._dirty = False
         self.hits = 0

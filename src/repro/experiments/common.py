@@ -21,6 +21,8 @@ from repro.net.topology import (
     build_paper_network,
 )
 from repro.sched.leave_in_time import LeaveInTime
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
 from repro.traffic.onoff import OnOffSource
 from repro.traffic.poisson import PoissonSource
 from repro.units import ms
@@ -122,7 +124,9 @@ def build_mix_network(a_off: float, *,
                       sample_ids: Set[str] = frozenset(),
                       monitor_buffer_ids: Set[str] = frozenset(),
                       admit: Optional[Callable[[Network, Session], None]]
-                      = None) -> Network:
+                      = None,
+                      sim: Optional[Simulator] = None,
+                      order_seed: Optional[int] = None) -> Network:
     """The MIX configuration: 116 ON-OFF sessions, 48 per node.
 
     ``jitter_ids`` / ``sample_ids`` / ``monitor_buffer_ids`` select
@@ -130,9 +134,20 @@ def build_mix_network(a_off: float, *,
     raw delay samples, and buffer monitoring respectively. ``admit``,
     when given, is called with each session *before* traffic starts so
     an admission controller can install per-node delay policies.
+
+    ``sim`` injects a pre-built simulator; ``order_seed``, when set,
+    registers the sessions in a seeded-shuffled order instead of the
+    canonical sorted one.  Both exist for the schedule-perturbation
+    differ (``repro-det --perturb``): because every random stream is
+    named by the session's stable id, a shuffled registration order
+    must leave all observables bit-identical — any difference is a
+    hidden order dependence.
     """
-    network = build_paper_network(scheduler_factory, seed=seed)
-    for spec in mix_specs():
+    network = build_paper_network(scheduler_factory, seed=seed, sim=sim)
+    specs = mix_specs()
+    if order_seed is not None:
+        RandomStreams(order_seed).stream("registration-order").shuffle(specs)
+    for spec in specs:
         session_id = spec.session_id
         session = Session(session_id, rate=PAPER_ONOFF_RATE_BPS,
                           route=spec.route, l_max=PAPER_PACKET_BITS,

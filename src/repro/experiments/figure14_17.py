@@ -143,7 +143,9 @@ def _cell(*, a_off: float, duration: float,
                                 admit=admit)
     network.run(duration)
     rows = []
-    for figure, (session_id, jitter_control) in TARGETS.items():
+    # Sorted (== insertion) order: the merged row order must not lean
+    # on dict iteration, per the unordered-merge rule.
+    for figure, (session_id, jitter_control) in sorted(TARGETS.items()):
         sink = network.sink(session_id)
         bounds = compute_session_bounds(
             network, network.sessions[session_id])

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.network import Network
 from repro.net.route import route_from_letters
+from repro.sim.kernel import Simulator
 from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS
 
 __all__ = [
@@ -70,6 +71,11 @@ class PaperTopology:
         Link parameters; default to the paper's T1 and 1 ms.
     seed:
         Master RNG seed for the network's random streams.
+    sim:
+        Pre-built simulator for the network to run on; ``None`` (the
+        default) lets :class:`Network` create its own.  The
+        schedule-perturbation differ (``repro-det --perturb``) injects
+        an instrumented kernel through this.
     """
 
     def __init__(self, scheduler_factory: Callable[[], object], *,
@@ -77,17 +83,20 @@ class PaperTopology:
                  propagation: float = PAPER_PROPAGATION_S,
                  node_count: int = PAPER_NODE_COUNT,
                  seed: int = 0,
-                 l_max_network: Optional[float] = None) -> None:
+                 l_max_network: Optional[float] = None,
+                 sim: Optional[Simulator] = None) -> None:
         self.scheduler_factory = scheduler_factory
         self.capacity = capacity
         self.propagation = propagation
         self.node_count = node_count
         self.seed = seed
         self.l_max_network = l_max_network
+        self.sim = sim
 
     def build(self) -> Network:
         """Create the network with its tandem of server nodes."""
-        network = Network(seed=self.seed, l_max_network=self.l_max_network)
+        network = Network(sim=self.sim, seed=self.seed,
+                          l_max_network=self.l_max_network)
         for index in range(1, self.node_count + 1):
             network.add_node(f"n{index}", self.scheduler_factory(),
                              capacity=self.capacity,
@@ -99,11 +108,12 @@ def build_paper_network(scheduler_factory: Callable[[], object], *,
                         capacity: float = T1_RATE_BPS,
                         propagation: float = PAPER_PROPAGATION_S,
                         seed: int = 0,
-                        l_max_network: Optional[float] = None) -> Network:
+                        l_max_network: Optional[float] = None,
+                        sim: Optional[Simulator] = None) -> Network:
     """One-call construction of the Figure-6 network."""
     return PaperTopology(scheduler_factory, capacity=capacity,
                          propagation=propagation, seed=seed,
-                         l_max_network=l_max_network).build()
+                         l_max_network=l_max_network, sim=sim).build()
 
 
 def mix_session_specs() -> List[Dict[str, object]]:

@@ -30,6 +30,15 @@ class TestRecord:
     def test_git_rev_is_nonempty(self):
         assert sample_record().git_rev
 
+    def test_deterministic_defaults_to_unverified(self):
+        assert sample_record().deterministic is None
+
+    def test_deterministic_verdict_is_stamped(self):
+        record = bench.make_record(
+            "perturb-fig07", wall_time_s=1.0, events_dispatched=10,
+            workers=4, simulated_s=1.0, cells=7, deterministic=True)
+        assert record.deterministic is True
+
 
 class TestRoundTrip:
     def test_write_then_read(self, tmp_path):
@@ -44,6 +53,23 @@ class TestRoundTrip:
         assert payload["schema"] == bench.SCHEMA_VERSION
         assert payload["experiment"] == "fig_test"
         assert list(payload) == sorted(payload)
+
+    def test_deterministic_round_trips(self, tmp_path):
+        record = bench.make_record(
+            "perturb-fig07", wall_time_s=1.0, events_dispatched=10,
+            workers=4, simulated_s=1.0, cells=7, deterministic=False)
+        path = bench.write_record(record, tmp_path)
+        loaded = bench.read_record(path)
+        assert loaded == record
+        assert loaded.deterministic is False
+
+    def test_records_without_the_deterministic_key_still_load(
+            self, tmp_path):
+        path = bench.write_record(sample_record(), tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["deterministic"]  # a pre-differ schema-1 record
+        path.write_text(json.dumps(payload))
+        assert bench.read_record(path).deterministic is None
 
     def test_unknown_schema_rejected(self, tmp_path):
         path = bench.write_record(sample_record(), tmp_path)

@@ -67,6 +67,36 @@ def test_fingerprint_is_stable_within_a_process():
     assert len(implementation_fingerprint()) == 64
 
 
+def test_fingerprint_is_namespaced_per_analyzer():
+    # Each analyzer hashes its own implementation set *and* the kind
+    # string, so no two kinds can ever share a fingerprint — verify and
+    # det deliberately cache the same summary schema from the same
+    # extraction model, and before per-kind namespacing a cache file
+    # written by one could validate for the other.
+    prints = {kind: implementation_fingerprint(kind)
+              for kind in ("lint", "verify", "det")}
+    assert len(set(prints.values())) == 3
+
+
+def test_cross_analyzer_cache_file_is_never_served(tmp_path):
+    # Regression for the shared-directory hazard: populate a cache as
+    # one analyzer, then impersonate it as another analyzer's file (the
+    # exact on-disk state a rename/copy or a kind collision would
+    # produce). The second analyzer must treat it as cold, not serve
+    # the foreign payload.
+    target = tmp_path / "mod.py"
+    target.write_text(OK_SOURCE)
+    verify = AnalysisCache(tmp_path / "cache", kind="verify")
+    verify.put(target, {"summary": {"module": "mod"}})
+    verify.save()
+
+    cache_dir = tmp_path / "cache"
+    (cache_dir / "verify.json").rename(cache_dir / "det.json")
+    det = AnalysisCache(cache_dir, kind="det")
+    assert det.get(target) is None
+    assert det.misses == 1
+
+
 def test_lint_and_verify_kinds_are_separate_files(tmp_path):
     target = tmp_path / "mod.py"
     target.write_text(OK_SOURCE)

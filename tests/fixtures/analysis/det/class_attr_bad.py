@@ -1,0 +1,17 @@
+"""BAD: class-body mutable containers on a kernel-reachable class.
+
+``samples`` and ``limits`` are one object shared by every instance;
+``on_packet`` runs under the event loop, so shards mutate them
+independently and silently diverge.
+"""
+
+
+class Monitor:
+    samples = []
+    limits = {}
+    window = 0.25
+
+    def on_packet(self, sim, packet):
+        self.samples.append(packet)
+        self.limits[packet.session] = sim.now
+        sim.schedule(0.0, packet.send, priority=0)

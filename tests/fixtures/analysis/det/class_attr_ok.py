@@ -1,0 +1,13 @@
+"""OK: immutable class constants; mutable state made in __init__."""
+
+
+class Monitor:
+    LIMIT = 8
+    NAMES = ("a", "b")
+
+    def __init__(self):
+        self.samples = []
+
+    def on_packet(self, sim, packet):
+        self.samples.append(packet)
+        sim.schedule(0.0, packet.send, priority=0)

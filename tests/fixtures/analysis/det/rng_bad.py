@@ -1,0 +1,25 @@
+"""BAD: stream names derived from worker-local or order-local data."""
+
+import os
+
+HANDED_OUT = []
+
+
+def attach(streams, source):
+    return streams.stream(f"src-{id(source)}")
+
+
+def attach_pid(streams):
+    return streams.stream(f"worker-{os.getpid()}")
+
+
+def attach_all(streams, ids):
+    rngs = {}
+    for sid in set(ids):
+        rngs[sid] = streams.stream(f"on-{sid}")
+    return rngs
+
+
+def attach_counted(streams, session):
+    HANDED_OUT.append(session)
+    return streams.stream(f"n-{len(HANDED_OUT)}")

@@ -1,0 +1,18 @@
+"""OK: stream names from constants, parameters, and sorted ids."""
+
+PREFIX = "traffic"
+
+
+def attach(streams, session_id):
+    return streams.stream(f"{PREFIX}-{session_id}")
+
+
+def attach_each(streams, specs):
+    rngs = []
+    for spec in specs:
+        rngs.append(streams.stream(f"on-{spec.session_id}"))
+    return rngs
+
+
+def attach_sorted(streams, ids):
+    return [streams.stream(f"on-{sid}") for sid in sorted(ids)]

@@ -1,0 +1,1 @@
+"""Cross-module shared-mutable-state fixture package."""

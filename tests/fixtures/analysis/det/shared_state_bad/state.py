@@ -1,0 +1,4 @@
+"""Module-level mutable containers shared across the package."""
+
+REGISTRY = []
+COUNTERS = {}

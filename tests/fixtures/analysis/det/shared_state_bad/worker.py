@@ -1,0 +1,17 @@
+"""BAD: kernel-reachable callbacks write module-level state.
+
+``on_arrival`` schedules follow-up events, so it is in the kernel's
+forward closure; its writes to this module's and ``state``'s globals
+diverge across space-parallel shards.
+"""
+
+from shared_state_bad import state
+
+SEEN = set()
+
+
+def on_arrival(sim, packet):
+    state.REGISTRY.append(packet)
+    state.COUNTERS[packet.node] = sim.now
+    SEEN.add(packet.session)
+    sim.schedule(0.0, packet.send, priority=0)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 
 import repro
+from repro.analysis.det import analyze_determinism
 from repro.analysis.lint import analyze_paths, registered_rules, render_text
 from repro.analysis.verify import analyze_program
 
@@ -35,4 +36,13 @@ def test_src_tree_passes_whole_program_analysis():
         "whole-program (repro-verify) violations in src/repro "
         "(fix them, or suppress with a justified '# repro: disable=' "
         "comment — see docs/static_analysis.md):\n"
+        + render_text(violations))
+
+
+def test_src_tree_passes_determinism_analysis():
+    violations = analyze_determinism([SRC_REPRO])
+    assert not violations, (
+        "determinism (repro-det) violations in src/repro "
+        "(fix them, or suppress with a justified '# repro: disable=' "
+        "comment — see docs/determinism.md):\n"
         + render_text(violations))
