@@ -9,10 +9,10 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: ci test ruff repro-lint repro-verify repro-det perturb-smoke \
-	sanitize mypy perf-guard
+	parallel-smoke sanitize mypy perf-guard
 
-ci: test ruff repro-lint repro-verify repro-det perturb-smoke sanitize \
-	mypy perf-guard
+ci: test ruff repro-lint repro-verify repro-det perturb-smoke \
+	parallel-smoke sanitize mypy perf-guard
 	@echo "== ci: all jobs done =="
 
 test:
@@ -48,6 +48,11 @@ perturb-smoke:
 	@echo "== ci job: perturb-smoke =="
 	$(PYTHON) -m repro.analysis.det --perturb --scenario fig07 \
 		--horizon 0.15 --rounds 1 --bench-dir /tmp/repro-perturb
+
+parallel-smoke:
+	@echo "== ci job: parallel-smoke =="
+	$(PYTHON) -m repro space_parallel --duration 0.5 \
+		--bench-dir /tmp/repro-parallel
 
 sanitize:
 	@echo "== ci job: sanitize =="

@@ -20,7 +20,8 @@ The JSON schema is flat and versioned::
       "simulated_s": 140.0,
       "cells": 7,
       "git_rev": "d11f973",
-      "deterministic": true
+      "deterministic": true,
+      "partitions": 1
     }
 
 ``deterministic`` is stamped by the ``repro-det --perturb`` differ
@@ -102,6 +103,11 @@ class BenchRecord:
     #: reproducibility was not dynamically verified.  Additive with a
     #: default, so schema-1 records (and readers) stay valid.
     deterministic: Optional[bool] = None
+    #: Space-parallel shard count (:mod:`repro.sim.parallel`); 1 for
+    #: serial runs and for cell-parallel sweeps (those shard *cells*
+    #: across ``workers``, not one topology).  Additive default, same
+    #: compatibility story as ``deterministic``.
+    partitions: int = 1
 
 
 class Stopwatch:
@@ -139,7 +145,8 @@ def git_rev() -> str:
 def make_record(experiment: str, *, wall_time_s: float,
                 events_dispatched: int, workers: int,
                 simulated_s: float, cells: int,
-                deterministic: Optional[bool] = None) -> BenchRecord:
+                deterministic: Optional[bool] = None,
+                partitions: int = 1) -> BenchRecord:
     """Assemble a record, deriving events/sec and the git revision."""
     rate = events_dispatched / wall_time_s if wall_time_s > 0 else 0.0
     return BenchRecord(
@@ -152,6 +159,7 @@ def make_record(experiment: str, *, wall_time_s: float,
         cells=cells,
         git_rev=git_rev(),
         deterministic=deterministic,
+        partitions=partitions,
     )
 
 

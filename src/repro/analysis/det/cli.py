@@ -13,8 +13,9 @@ Two halves share the entry point:
   assembled so cross-module facts stay exact), and text/JSON output;
 * ``--perturb`` — the dynamic schedule-perturbation differ: rerun a
   scenario under shuffled tie-break, shuffled session registration,
-  and ``workers=1`` vs ``workers=N``, and diff observables + traces.
-  With ``--bench-dir`` the verdict is stamped into a
+  ``workers=1`` vs ``workers=N``, and shuffled space-parallel
+  partition assignments (``partitions``), and diff observables +
+  traces.  With ``--bench-dir`` the verdict is stamped into a
   ``BENCH_perturb-<scenario>.json`` record (``deterministic`` field).
 """
 
@@ -79,8 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario to perturb (default: fig07)")
     perturb.add_argument(
         "--modes", default=None, metavar="M1,M2",
-        help="comma-separated subset of tiebreak,registration,workers "
-             "(default: all)")
+        help="comma-separated subset of tiebreak,registration,workers,"
+             "partitions (default: all)")
     perturb.add_argument(
         "--horizon", type=float, default=0.25, metavar="SECONDS",
         help="simulated seconds per perturbation run (default: 0.25)")

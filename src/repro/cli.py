@@ -45,6 +45,7 @@ from repro.experiments import (
     regulator_comparison,
     saturation,
     section4,
+    space_parallel,
 )
 
 __all__ = ["main", "build_parser"]
@@ -66,6 +67,7 @@ _SIMULATED: Dict[str, tuple] = {
     "md1_validation": (md1_validation.run, 600.0),
     "saturation": (saturation.run, 120.0),
     "regulator_comparison": (regulator_comparison.run, 120.0),
+    "space_parallel": (space_parallel.run, 10.0),
 }
 
 #: Purely analytic experiments (no duration/seed).
@@ -95,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="processes to shard sweep cells across "
                              "(default: all cores but one); results "
                              "are identical at any worker count")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="space-parallel shard count for "
+                             "experiments that split one topology "
+                             "across processes (repro.sim.parallel); "
+                             "digests are identical at any count")
     parser.add_argument("--bench-dir", metavar="DIR", default=None,
                         help="directory for BENCH_<experiment>.json "
                              "telemetry records (default: cwd)")
@@ -115,7 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_simulated(name: str, duration: Optional[float], seed: int,
                    full: bool, csv_dir: Optional[str],
-                   workers: Optional[int]) -> str:
+                   workers: Optional[int],
+                   partitions: Optional[int] = None) -> str:
     runner, paper_duration = _SIMULATED[name]
     if duration is None:
         duration = paper_duration if full else None
@@ -123,8 +131,11 @@ def _run_simulated(name: str, duration: Optional[float], seed: int,
     if duration is not None:
         kwargs["duration"] = duration
     # Not every runner shards (and tests monkeypatch plain fakes in).
-    if "workers" in inspect.signature(runner).parameters:
+    parameters = inspect.signature(runner).parameters
+    if "workers" in parameters:
         kwargs["workers"] = workers
+    if partitions is not None and "partitions" in parameters:
+        kwargs["partitions"] = partitions
     result = runner(**kwargs)
     _maybe_export(name, result, csv_dir)
     return result.table()
@@ -169,7 +180,8 @@ def main(argv: Optional[list] = None) -> int:
             else:
                 try:
                     print(_run_simulated(name, args.duration, args.seed,
-                                         args.full, args.csv, workers))
+                                         args.full, args.csv, workers,
+                                         args.partitions))
                 except SanitizerError as error:
                     print(f"[sanitize] {name}: VIOLATIONS",
                           file=sys.stderr)

@@ -345,6 +345,12 @@ class FaultInjector:
         if tracer.enabled:
             tracer.emit(now, "node_restart", node=spec.node,
                         flushed=len(flushed))
+        # A crash loses the packet on the link too: abort the in-flight
+        # transmission (cancelling its completion event) *before* the
+        # queued flush drops, so trace order is tx-abort then flush and
+        # the tx bookkeeping can never go stale (the old behavior let
+        # the transmission ride out the crash and complete normally).
+        node.abort_transmission("flush")
         for packet in flushed:
             node.fault_drop(packet, "flush", release_buffer=True)
 

@@ -17,7 +17,19 @@ __all__ = ["Link"]
 
 
 class Link:
-    """An outgoing link with capacity ``C`` (bit/s) and propagation ``Γ`` (s)."""
+    """An outgoing link with capacity ``C`` (bit/s) and propagation ``Γ`` (s).
+
+    ``Γ`` doubles as the *lookahead* of the space-parallel kernel
+    (:mod:`repro.sim.parallel`): a packet finishing transmission at
+    ``s`` cannot affect the downstream node before ``s + Γ``, so ``Γ``
+    bounds how far two shards may safely simulate past each other.  A
+    link with ``propagation=0.0`` (the default) therefore carries zero
+    lookahead and **cannot be a partition boundary** — the graph
+    partitioner serially merges the two endpoints of a zero-Γ edge into
+    one shard, and an explicit partition that cuts one is rejected with
+    a :class:`~repro.errors.SimulationError` (see
+    ``docs/parallel_kernel.md``).
+    """
 
     __slots__ = ("capacity", "propagation")
 

@@ -26,6 +26,7 @@ from repro.sim.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.verify.sanitizer import Sanitizer
     from repro.faults.injector import FaultInjector
+    from repro.sim.parallel import ShardContext
 
 __all__ = ["Network"]
 
@@ -75,6 +76,10 @@ class Network:
         #: The armed fault injector, if any (see repro.faults); None in
         #: fault-free runs, so the delivery path pays one check.
         self.faults: Optional["FaultInjector"] = None
+        #: Set when this network is one shard of a space-parallel run
+        #: (see :mod:`repro.sim.parallel`); None in serial runs, so the
+        #: forwarding path pays one ``is None`` check per transmission.
+        self.shard: Optional["ShardContext"] = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -134,6 +139,13 @@ class Network:
         call churn relies on this to tear calls down mid-flight without
         waiting for the network to drain.
         """
+        if self.shard is not None:
+            # A removal's drain-then-forget bookkeeping needs a global
+            # view of in-flight packets, which a single shard does not
+            # have (the packet may be crossing a partition boundary).
+            raise SimulationError(
+                "remove_session is not supported in space-parallel "
+                "(sharded) runs; run session churn serially")
         session = self.sessions.pop(session_id, None)
         if session is None:
             raise ConfigurationError(f"unknown session {session_id!r}")

@@ -30,6 +30,7 @@ from repro.errors import SimulationError
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.session import Session
+from repro.sim.events import Event
 from repro.sim.kernel import PRIORITY_NORMAL, Simulator
 from repro.sim.monitor import TimeSeries
 from repro.sim.trace import Tracer
@@ -94,6 +95,11 @@ class ServerNode:
         self.busy_time = 0.0
         self._tx_started_at = 0.0
         self._tx_time = 0.0
+        #: Handle of the pending completion event, kept so a
+        #: crash-restart can abort the in-flight transmission
+        #: (:meth:`abort_transmission`) instead of letting the packet
+        #: ride out the crash.
+        self._tx_event: Optional[Event] = None
 
     # ------------------------------------------------------------------
     # Session registration
@@ -198,12 +204,17 @@ class ServerNode:
         # resolves by insertion order — the arrival was scheduled first
         # and is processed first, which is the store-and-forward order
         # the buffer-occupancy sampling assumes.
-        self.sim.schedule(transmission, self._finish_transmission, packet,
-                          priority=PRIORITY_NORMAL)
+        self._tx_event = self.sim.schedule(
+            transmission, self._finish_transmission, packet,
+            priority=PRIORITY_NORMAL)
 
     def _finish_transmission(self, packet: Packet) -> None:
         now = self.sim.now
         if self.transmitting is not packet:
+            # Unreachable by construction: abort_transmission cancels
+            # the completion event before clearing ``transmitting``, so
+            # a completion can never fire against stale tx bookkeeping.
+            # Kept as a fail-loud guard for future scheduling bugs.
             raise SimulationError(
                 f"node {self.name}: transmission completion for a packet "
                 f"that is not on the link")
@@ -218,6 +229,7 @@ class ServerNode:
         self.bits_served += packet.length
         self.busy_time += self._tx_time
         self.transmitting = None
+        self._tx_event = None
 
         tracer = self.tracer
         if tracer.enabled:
@@ -244,12 +256,49 @@ class ServerNode:
         # this same instant; insertion order then runs it after this
         # completion handler's _try_start below, i.e. the downstream
         # arrival never preempts this node's own dequeue decision.
-        self.sim.schedule(self.link.propagation, self.network.deliver, packet,
-                          priority=PRIORITY_NORMAL)
+        #
+        # Sharded runs intercept here — *before* the propagation delay
+        # is scheduled — because Γ is the shard lookahead: the envelope
+        # must leave this shard stamped with arrival ``now + Γ``, not
+        # after the delay has already been consumed on this clock.
+        network = self.network
+        shard = network.shard
+        if shard is None or not shard.intercept(self, packet):
+            self.sim.schedule(self.link.propagation, network.deliver,
+                              packet, priority=PRIORITY_NORMAL)
         san = self.sanitizer
         if san is not None:
             san.on_forward(self, packet)
         self._try_start()
+
+    def abort_transmission(self, reason: str) -> None:
+        """Abort the in-flight transmission, if any, for fault ``reason``.
+
+        Called by a crash-restart: the packet on the link is lost, its
+        pending completion event is cancelled, and the tx bookkeeping
+        (``transmitting``/``_tx_started_at``/``_tx_time``) is reset so
+        :meth:`utilization` never pro-rates a transmission that will
+        never complete.  Busy time accrues only for the elapsed portion
+        — the link really was busy up to the crash.
+        """
+        packet = self.transmitting
+        if packet is None:
+            return
+        event = self._tx_event
+        if event is not None:
+            event.cancel()
+        now = self.sim.now
+        elapsed = now - self._tx_started_at
+        if elapsed > 0.0:
+            self.busy_time += (elapsed if elapsed < self._tx_time
+                               else self._tx_time)
+        self.transmitting = None
+        self._tx_event = None
+        self._tx_started_at = now
+        self._tx_time = 0.0
+        # The aborted packet's bits are still in the occupancy
+        # accounting (they leave at completion), so release them.
+        self.fault_drop(packet, reason, release_buffer=True)
 
     def fault_drop(self, packet: Packet, reason: str, *,
                    release_buffer: bool) -> None:

@@ -34,12 +34,24 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["Event", "EventQueue", "FREE_LIST_MAX"]
+__all__ = ["Event", "EventQueue", "FREE_LIST_MAX",
+           "USER_PRIORITY_MIN", "USER_PRIORITY_MAX"]
 
 #: Upper bound on recycled events kept per queue.  Steady-state dispatch
 #: needs at most "peak concurrently pending events" spares; the cap just
 #: keeps a pathological burst from pinning memory forever.
 FREE_LIST_MAX = 4096
+
+#: Inclusive band of tie-break priorities available to user events.
+#: The kernel's two run-horizon sentinels sit one step outside it on
+#: either side: the inclusive-horizon sentinel (``run(until=...)``)
+#: sorts *after* every user event at the same instant, and the
+#: exclusive-horizon sentinel (``run(..., exclusive=True)``, used by
+#: the space-parallel barrier windows) sorts *before* every user event
+#: at the window boundary.  Scheduling outside this band would let a
+#: user event tie with a sentinel.
+USER_PRIORITY_MIN = -(2 ** 31) + 1
+USER_PRIORITY_MAX = 2 ** 31 - 1
 
 _heappush = heapq.heappush
 

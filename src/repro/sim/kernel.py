@@ -38,7 +38,9 @@ from math import inf
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import FREE_LIST_MAX, Event, EventQueue, _recycled
+from repro.sim.events import (FREE_LIST_MAX, USER_PRIORITY_MAX,
+                              USER_PRIORITY_MIN, Event, EventQueue,
+                              _recycled)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.verify.sanitizer import Sanitizer
@@ -67,7 +69,17 @@ _DISPATCH_REFS = 2
 #: Tie-break priority of the run-horizon sentinel event: sorts after
 #: every real event at the same instant, so events scheduled exactly at
 #: ``until`` still run.  User priorities must stay below this.
-_STOP_PRIORITY = 2 ** 31
+_STOP_PRIORITY = USER_PRIORITY_MAX + 1
+
+#: Tie-break priority of the *exclusive*-horizon sentinel
+#: (``run(..., exclusive=True)``): sorts before every real event at the
+#: same instant, so events scheduled exactly at ``until`` stay queued.
+#: The space-parallel barrier-window protocol relies on this: a window
+#: ``[T, T + w)`` is half-open, so a cross-shard message arriving at
+#: exactly ``T + w`` is injected at the barrier *before* any local
+#: event at ``T + w`` dispatches.  User priorities must stay above
+#: this.
+_WINDOW_PRIORITY = USER_PRIORITY_MIN - 1
 
 
 class _Stop(Exception):
@@ -187,7 +199,8 @@ class Simulator:
         return True
 
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
+            max_events: Optional[int] = None, *,
+            exclusive: bool = False) -> float:
         """Run the event loop.
 
         Parameters
@@ -199,11 +212,24 @@ class Simulator:
         max_events:
             Safety valve for tests: stop after dispatching this many
             events even if more are pending.
+        exclusive:
+            Treat ``until`` as a half-open horizon: dispatch only
+            events strictly before ``until`` and leave events at
+            exactly ``until`` queued (the clock still advances to
+            ``until``).  This is the barrier-window mode of the
+            space-parallel kernel (:mod:`repro.sim.parallel`): a shard
+            runs ``[T, T + w)`` so that cross-shard messages arriving
+            at exactly ``T + w`` can be injected at the barrier before
+            any local event at that instant runs.  Default off — the
+            plain inclusive semantics are byte-for-byte unchanged.
 
         Returns the clock value when the loop stopped.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
+        if exclusive and until is None:
+            raise SimulationError(
+                "run(exclusive=True) needs an explicit until horizon")
         self._running = True
         # Hot-loop locals: the heap list and free list keep their
         # identity for the queue's whole lifetime (clear() empties them
@@ -241,7 +267,7 @@ class Simulator:
                             event.args = ()
                             free.append(event)
                         continue
-                    if time > limit:
+                    if time > limit or (exclusive and time == limit):
                         heappush(heap, (time, priority, seq, event))
                         break
                     if time < self.now:
@@ -268,12 +294,17 @@ class Simulator:
                 # ``_Stop``; an empty heap surfaces as ``IndexError``
                 # from ``heappop``.  Both cost nothing per event.
                 if until is not None:
-                    if until < self.now:
+                    if (until <= self.now) if exclusive else \
+                            (until < self.now):
                         return self.now
+                    # The exclusive sentinel sorts *before* same-instant
+                    # real events; the inclusive one *after* them.
+                    sentinel = _WINDOW_PRIORITY if exclusive \
+                        else _STOP_PRIORITY
                     seq = queue._seq
                     queue._seq = seq + 1
-                    stop = Event(until, _STOP_PRIORITY, seq, _raise_stop, ())
-                    heappush(heap, (until, _STOP_PRIORITY, seq, stop))
+                    stop = Event(until, sentinel, seq, _raise_stop, ())
+                    heappush(heap, (until, sentinel, seq, stop))
                 while True:
                     try:
                         time, _p, _s, event = heappop(heap)
@@ -313,7 +344,7 @@ class Simulator:
                             event.args = ()
                             free.append(event)
                         continue
-                    if time > limit:
+                    if time > limit or (exclusive and time == limit):
                         # Pop-then-undo beats peek-then-pop: the undo
                         # runs at most once per run() call, the peek
                         # would run once per event.

@@ -39,6 +39,15 @@ class TestRecord:
             workers=4, simulated_s=1.0, cells=7, deterministic=True)
         assert record.deterministic is True
 
+    def test_partitions_defaults_to_serial(self):
+        assert sample_record().partitions == 1
+
+    def test_partitions_is_stamped(self):
+        record = bench.make_record(
+            "space_parallel", wall_time_s=1.0, events_dispatched=10,
+            workers=1, simulated_s=1.0, cells=8, partitions=4)
+        assert record.partitions == 4
+
 
 class TestRoundTrip:
     def test_write_then_read(self, tmp_path):
@@ -70,6 +79,14 @@ class TestRoundTrip:
         del payload["deterministic"]  # a pre-differ schema-1 record
         path.write_text(json.dumps(payload))
         assert bench.read_record(path).deterministic is None
+
+    def test_records_without_the_partitions_key_still_load(
+            self, tmp_path):
+        path = bench.write_record(sample_record(), tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["partitions"]  # a pre-space-parallel record
+        path.write_text(json.dumps(payload))
+        assert bench.read_record(path).partitions == 1
 
     def test_unknown_schema_rejected(self, tmp_path):
         path = bench.write_record(sample_record(), tmp_path)

@@ -299,9 +299,11 @@ def test_fig07_is_deterministic_under_all_perturbations():
     report = perturb_scenario(Fig07Scenario(), horizon=0.1, workers=4,
                               rounds=1)
     assert report.deterministic
-    assert report.modes == ("tiebreak", "registration", "workers")
+    assert report.modes == ("tiebreak", "registration", "workers",
+                            "partitions")
     # baseline + tiebreak + registration + 2 cells x {serial, pooled}
-    assert report.runs == 7
+    # + the partitions mode's serial reference + 1 sharded shuffle
+    assert report.runs == 9
     assert report.events > 0
 
 

@@ -93,6 +93,41 @@ def test_workers_forwarded_to_sharding_runners(monkeypatch):
     assert captured["workers"] == 3
 
 
+def test_partitions_forwarded_to_space_parallel_runners(monkeypatch):
+    captured = {}
+
+    def fake_run(duration=None, seed=0, partitions=None):
+        captured["partitions"] = partitions
+
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "space_parallel", (fake_run, 10.0))
+    assert main(["space_parallel", "--partitions", "2"]) == 0
+    assert captured["partitions"] == 2
+    # Without the flag the runner keeps its own default sweep.
+    assert main(["space_parallel"]) == 0
+    assert captured["partitions"] is None
+
+
+def test_partitions_not_passed_to_plain_runners(monkeypatch):
+    def fake_run(duration=None, seed=0):
+        class Result:
+            def table(self):
+                return "stub"
+
+        return Result()
+
+    import repro.cli as cli
+    monkeypatch.setitem(cli._SIMULATED, "firewall", (fake_run, 60.0))
+    # Would raise TypeError if the CLI forced partitions through.
+    assert main(["firewall", "--partitions", "2"]) == 0
+
+
 def test_workers_not_passed_to_plain_runners(monkeypatch):
     def fake_run(duration=None, seed=0):
         class Result:

@@ -203,3 +203,45 @@ class TestAblation:
             # Emulation error below bin width + one packet time.
             assert outcome.max_lateness_ms < (424.0 / 1.536e6
                                               + result.bin_width) * 1e3
+
+
+class TestSpaceParallel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import space_parallel
+        return space_parallel.run(duration=0.25, seed=1,
+                                  partitions=2, modes=("inline",))
+
+    def test_all_digests_match(self, result):
+        assert result.all_match()
+        assert result.serial_digests[False] != result.serial_digests[True]
+
+    def test_rows_cover_clean_and_faulted(self, result):
+        assert sorted({row.faulted for row in result.rows}) == \
+            [False, True]
+        assert all(row.partitions == 2 for row in result.rows)
+
+    def test_mismatch_raises(self, monkeypatch):
+        from repro.experiments import space_parallel
+        from repro.errors import SimulationError
+
+        real = space_parallel.run_sharded
+
+        def corrupted(*args, **kwargs):
+            result = real(*args, **kwargs)
+            return type(result)(
+                digest="0" * 64, payload=result.payload,
+                partition=result.partition, window=result.window,
+                mode=result.mode,
+                events_dispatched=result.events_dispatched,
+                shard_events=result.shard_events)
+
+        monkeypatch.setattr(space_parallel, "run_sharded", corrupted)
+        with pytest.raises(SimulationError, match="digest mismatch"):
+            space_parallel.run(duration=0.1, seed=1, partitions=2,
+                               modes=("inline",))
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "all identical" in table
+        assert "clean" in table and "faulted" in table

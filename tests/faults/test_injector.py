@@ -201,19 +201,45 @@ def test_pause_and_resume():
 
 
 def test_restart_flushes_queued_packets():
-    # Three packets arrive back-to-back; the first is transmitting when
-    # the restart fires at 0.05, so the two still queued are flushed.
+    # Three packets arrive back-to-back; the first is mid-transmission
+    # when the restart fires at 0.05.  A crash loses volatile state
+    # *including the packet on the link*: all three are flush-dropped —
+    # the in-flight one via abort_transmission, the queued two via the
+    # scheduler flush.
     network, sink = one_node_network([0.0, 0.0, 0.0], trace=True)
     injector = install(network, FaultPlan(
         node_restarts=[NodeRestart("n1", 0.05)]))
     network.run(5.0)
-    assert sink.received == 1          # the in-flight one completes
+    assert sink.received == 0
     state = injector.states["n1"]
-    assert state.drops == {"flush": {"s": 2}}
+    assert state.drops == {"flush": {"s": 3}}
     assert state.restarts == 1
-    # Buffer occupancy accounting released the flushed bits.
-    assert network.node("n1").buffer_bits["s"] == pytest.approx(0.0)
+    node = network.node("n1")
+    # Buffer occupancy accounting released the flushed bits, and the tx
+    # bookkeeping was reset (no phantom in-flight transmission).
+    assert node.buffer_bits["s"] == pytest.approx(0.0)
+    assert node.transmitting is None
     assert network.tracer.count("node_restart") == 1
+
+
+def test_restart_aborts_inflight_tx_bookkeeping():
+    # The aborted transmission accrues only its elapsed busy time, and
+    # utilization() never pro-rates a transmission that will not
+    # complete: after the restart the node is idle and busy_time stays
+    # frozen at the crash instant's accrual.
+    network, sink = one_node_network([0.0], trace=True)
+    install(network, FaultPlan(node_restarts=[NodeRestart("n1", 0.05)]))
+    network.run(5.0)
+    node = network.node("n1")
+    assert sink.received == 0
+    assert node.transmitting is None
+    # tx started at 0.0, crashed at 0.05 -> 0.05 s of real link time.
+    assert node.busy_time == pytest.approx(0.05)
+    assert node.utilization(5.0) == pytest.approx(0.05 / 5.0)
+    # The cancelled completion event must never fire (it would raise
+    # SimulationError: completion for a packet not on the link).
+    assert network.tracer.count("tx_end") == 0
+    assert network.tracer.count("fault_drop") == 1
 
 
 def test_restart_flushes_lit_regulator_holds():

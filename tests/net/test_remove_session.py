@@ -147,6 +147,79 @@ def test_reserved_rate_drops_after_removal():
     assert network.reserved_rate("n1") == 0.0
 
 
+class TestChurnFaultOverlap:
+    """remove_session racing node pauses and restarts (drain-then-forget
+    must neither wedge the drain nor leak per-node state)."""
+
+    def _paused_network(self, pause_at, resume_at):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, NodePause
+        network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+        add_trace_session(network, "s", rate=100.0, times=[0.0, 0.1],
+                          lengths=100.0, route=["n1", "n2"])
+        plan = FaultPlan(node_pauses=(NodePause("n1", pause_at,
+                                                resume_at),))
+        FaultInjector(plan).install(network)
+        return network
+
+    def test_remove_while_paused_drains_after_resume(self):
+        # Pause lands mid-first-transmission; removal happens while the
+        # second packet is stuck behind the paused node.
+        network = self._paused_network(0.05, 2.0)
+        network.run(0.2)
+        network.remove_session("s")
+        assert "s" in network._draining
+        network.run(5.0)
+        assert network.sink("s").received == 2
+        assert "s" not in network._draining
+        assert "s" not in network.node("n1").buffer_bits
+        with pytest.raises(KeyError):
+            network.node("n1").scheduler.session_state("s")
+
+    def test_pause_starting_mid_drain_only_defers_it(self):
+        # Removal happens first (packet 2 queued behind the in-flight
+        # transmission); the pause then begins before that transmission
+        # completes, so the queued packet is stuck until resume.
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, NodePause
+        network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+        add_trace_session(network, "s", rate=100.0, times=[0.0, 0.01],
+                          lengths=100.0, route=["n1", "n2"])
+        plan = FaultPlan(node_pauses=(NodePause("n1", 0.08, 2.0),))
+        FaultInjector(plan).install(network)
+        network.run(0.05)
+        network.remove_session("s")
+        network.run(1.0)         # pause holds the drain open
+        assert "s" in network._draining
+        network.run(5.0)
+        assert network.sink("s").received == 2
+        assert "s" not in network._draining
+
+    def test_restart_mid_drain_finalizes_via_drops(self):
+        # A crash-restart flushes the queue *and* aborts the in-flight
+        # transmission; both land as drops, which must still count as
+        # drain progress — the removal finalizes instead of wedging.
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, NodeRestart
+        network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+        add_trace_session(network, "s", rate=100.0,
+                          times=[0.0, 0.01, 0.02], lengths=100.0,
+                          route=["n1", "n2"])
+        plan = FaultPlan(node_restarts=(NodeRestart("n1", 0.05),))
+        injector = FaultInjector(plan)
+        injector.install(network)
+        network.run(0.03)        # one tx in flight, two queued
+        network.remove_session("s")
+        assert "s" in network._draining
+        network.run(5.0)
+        assert "s" not in network._draining
+        assert "s" not in network.node("n1").buffer_bits
+        with pytest.raises(KeyError):
+            network.node("n1").scheduler.session_state("s")
+        drops = injector.states["n1"].drops.get("flush", {})
+        assert drops.get("s", 0) >= 1
+
+
 class TestForgetAcrossDisciplines:
     def _drain_and_remove(self, factory):
         network = make_network(factory, capacity=1000.0)

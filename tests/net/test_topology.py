@@ -1,14 +1,23 @@
 """Unit tests for the Figure-6 topology and the MIX/CROSS configurations."""
 
+import math
+
 import pytest
 
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.network import Network
+from repro.net.session import Session
 from repro.net.topology import (
     CROSS_ONE_HOP_ROUTES,
     CROSS_ROUTES,
     MIX_ROUTE_COUNTS,
     build_paper_network,
+    cut_lookahead,
     mix_session_specs,
+    partition_network,
+    route_edges,
     sessions_per_node,
+    validate_partition,
 )
 from repro.sched.fcfs import FCFS
 from repro.units import PAPER_PROPAGATION_S, T1_RATE_BPS
@@ -58,3 +67,83 @@ def test_custom_node_count():
     from repro.net.topology import PaperTopology
     network = PaperTopology(FCFS, node_count=3).build()
     assert sorted(network.nodes) == ["n1", "n2", "n3"]
+
+
+def tandem(propagations, route=None):
+    """A tandem whose node k has link propagation ``propagations[k]``;
+    one session along ``route`` (default: every node) defines the route
+    edges the partitioner sees."""
+    network = Network(seed=0)
+    names = [f"n{i}" for i in range(1, len(propagations) + 1)]
+    for name, propagation in zip(names, propagations):
+        network.add_node(name, FCFS(), capacity=1000.0,
+                         propagation=propagation)
+    hops = route if route is not None else names
+    session = Session("s", rate=100.0, route=hops, l_max=100.0)
+    network.add_session(session, keep_samples=False)
+    return network, names
+
+
+class TestPartitioner:
+    def test_route_edges_use_transmitter_propagation(self):
+        network, _ = tandem([0.001, 0.002, 0.003])
+        assert route_edges(network) == {("n1", "n2"): 0.001,
+                                        ("n2", "n3"): 0.002}
+
+    def test_contiguous_balanced_split(self):
+        network, names = tandem([0.001] * 8)
+        partition = partition_network(network, 2)
+        assert partition == (frozenset(names[:4]), frozenset(names[4:]))
+        quarters = partition_network(network, 4)
+        assert [len(part) for part in quarters] == [2, 2, 2, 2]
+
+    def test_single_part_is_everything(self):
+        network, names = tandem([0.001] * 3)
+        assert partition_network(network, 1) == (frozenset(names),)
+
+    def test_zero_gamma_edges_merge(self):
+        # n2 -> n3 has zero propagation: the two nodes become one
+        # supernode and always land in the same shard.
+        network, _ = tandem([0.001, 0.0, 0.001, 0.001])
+        for parts in (2, 3):
+            partition = partition_network(network, parts)
+            owner = {name: index
+                     for index, part in enumerate(partition)
+                     for name in part}
+            assert owner["n2"] == owner["n3"]
+
+    def test_more_parts_than_supernodes_rejected(self):
+        # n1+n2 merge (zero-Γ edge): two supernodes, so 2 parts fit
+        # but 3 cannot.
+        network, _ = tandem([0.0, 0.001, 0.001])
+        assert len(partition_network(network, 2)) == 2
+        with pytest.raises(ConfigurationError):
+            partition_network(network, 3)
+
+    def test_explicit_zero_gamma_cut_rejected(self):
+        network, _ = tandem([0.001, 0.0, 0.001, 0.001])
+        with pytest.raises(SimulationError, match="zero"):
+            validate_partition(network, (frozenset({"n1", "n2"}),
+                                         frozenset({"n3", "n4"})))
+
+    def test_validate_requires_exact_cover(self):
+        network, _ = tandem([0.001] * 3)
+        with pytest.raises(ConfigurationError):
+            validate_partition(network, (frozenset({"n1"}),
+                                         frozenset({"n2"})))
+        with pytest.raises(ConfigurationError):
+            validate_partition(network, (frozenset({"n1", "n2"}),
+                                         frozenset({"n2", "n3"})))
+        with pytest.raises(ConfigurationError):
+            validate_partition(network, (frozenset({"n1", "n2", "n3"}),
+                                         frozenset()))
+        with pytest.raises(ConfigurationError):
+            validate_partition(network, (frozenset({"n1", "n2", "n3",
+                                                    "ghost"}),))
+
+    def test_cut_lookahead_is_min_gamma_over_cut(self):
+        network, _ = tandem([0.004, 0.002, 0.003, 0.001])
+        partition = (frozenset({"n1", "n2"}), frozenset({"n3", "n4"}))
+        assert cut_lookahead(network, partition) == 0.002
+        everything = (frozenset({"n1", "n2", "n3", "n4"}),)
+        assert cut_lookahead(network, everything) == math.inf

@@ -148,3 +148,47 @@ class TestRunControl:
         sim.schedule(1.0, seen.append, "early", priority=-1)
         sim.run()
         assert seen == ["early", "late"]
+
+
+class TestExclusiveHorizon:
+    """run(until=B, exclusive=True) — the barrier-window mode."""
+
+    def test_event_at_horizon_stays_queued(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.0, lambda: seen.append(sim.now))
+        stopped_at = sim.run(until=4.0, exclusive=True)
+        assert seen == []
+        assert stopped_at == 4.0
+        assert sim.now == 4.0
+        assert sim.pending == 1
+
+    def test_events_strictly_before_horizon_dispatch(self):
+        sim = Simulator()
+        seen = []
+        for time in (1.0, 3.999999, 4.0, 5.0):
+            sim.schedule(time, seen.append, time)
+        sim.run(until=4.0, exclusive=True)
+        assert seen == [1.0, 3.999999]
+
+    def test_inclusive_follow_up_delivers_boundary_event(self):
+        # The barrier protocol: an exclusive run stops *at* B, the
+        # coordinator injects cross-shard arrivals at exactly B, and
+        # the next (inclusive) run dispatches local and injected
+        # events at B together under the normal priority order.
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.0, seen.append, "local")
+        sim.run(until=4.0, exclusive=True)
+        sim.schedule_at(4.0, seen.append, "injected", priority=-1)
+        sim.run(until=4.0)
+        assert seen == ["injected", "local"]
+
+    def test_clock_advances_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.run(until=3.0, exclusive=True) == 3.0
+        assert sim.now == 3.0
+
+    def test_exclusive_requires_until(self):
+        with pytest.raises(SimulationError):
+            Simulator().run(exclusive=True)
