@@ -9,10 +9,10 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: ci test ruff repro-lint repro-verify repro-det perturb-smoke \
-	parallel-smoke sanitize mypy perf-guard
+	parallel-smoke sanitize mypy perf-guard heavy-traffic-smoke
 
 ci: test ruff repro-lint repro-verify repro-det perturb-smoke \
-	parallel-smoke sanitize mypy perf-guard
+	parallel-smoke sanitize mypy perf-guard heavy-traffic-smoke
 	@echo "== ci: all jobs done =="
 
 test:
@@ -75,3 +75,18 @@ perf-guard:
 			/tmp/repro-perf/BENCH_throughput.json \
 			--max-regression 25 \
 		|| echo "-- perf-guard: regression or error (soft-fail, not blocking) --"
+
+heavy-traffic-smoke:
+	@echo "== ci job: heavy-traffic-smoke =="
+	$(PYTHON) -m repro heavy_traffic --duration 0.5 \
+		--state-backend objects --bench-dir /tmp/repro-heavy
+	$(PYTHON) -m repro heavy_traffic --duration 0.5 \
+		--state-backend soa --bench-dir /tmp/repro-heavy
+	@echo "-- peak-RSS guard (soft-fail) --"
+	@$(PYTHON) -m repro.analysis.throughput --sessions 10000 \
+			--horizon 0.5 --out /tmp/repro-heavy \
+		&& $(PYTHON) -m repro.analysis.bench compare \
+			benchmarks/baselines/BENCH_throughput_scaling.json \
+			/tmp/repro-heavy/BENCH_throughput_scaling.json \
+			--max-regression 60 --max-rss-regression 50 \
+		|| echo "-- rss-guard: regression or error (soft-fail, not blocking) --"

@@ -21,12 +21,22 @@ The JSON schema is flat and versioned::
       "cells": 7,
       "git_rev": "d11f973",
       "deterministic": true,
-      "partitions": 1
+      "partitions": 1,
+      "peak_rss_bytes": 48234496,
+      "sessions": null
     }
 
 ``deterministic`` is stamped by the ``repro-det --perturb`` differ
 (true/false) and ``null`` for runs whose reproducibility was not
 dynamically verified.
+
+``peak_rss_bytes`` is the process's resident-set high-water mark
+(``resource.getrusage``) at record-assembly time, stamped by every
+run; ``null`` on platforms without ``resource``.  ``sessions`` is the
+concurrent-session count for scale-sweep records (heavy traffic,
+``repro.analysis.throughput --sessions``) and ``null`` for the
+paper-scale experiments, whose session count is fixed by the MIX/CROSS
+configuration.
 
 ``simulated_s`` is the *total* simulated horizon across all cells of
 the sweep (duration × cells for a uniform sweep), so
@@ -108,6 +118,15 @@ class BenchRecord:
     #: across ``workers``, not one topology).  Additive default, same
     #: compatibility story as ``deterministic``.
     partitions: int = 1
+    #: Resident-set high-water mark of the recording process in bytes,
+    #: read from ``resource.getrusage`` when the record is assembled;
+    #: None where the ``resource`` module is unavailable.  Additive
+    #: default — schema-1 readers and old records stay valid.
+    peak_rss_bytes: Optional[int] = None
+    #: Concurrent sessions simulated, for scale-sweep records (the
+    #: heavy-traffic experiment, ``throughput --sessions``); None for
+    #: fixed-population experiments.  Additive default.
+    sessions: Optional[int] = None
 
 
 class Stopwatch:
@@ -129,6 +148,26 @@ class Stopwatch:
         return time.perf_counter() - self._start  # repro: disable=no-wallclock -- perf telemetry measures real elapsed time
 
 
+def peak_rss_bytes() -> Optional[int]:
+    """Resident-set high-water mark of this process in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; None on
+    platforms without the ``resource`` module (Windows).  The value is
+    a monotone high-water mark, so a record's RSS reflects the largest
+    workload the process has run up to that point — scale sweeps that
+    need per-point attribution run each point in a fresh process
+    (:mod:`repro.experiments.heavy_traffic`).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(raw)
+    return int(raw) * 1024
+
+
 def git_rev() -> str:
     """Short git revision of the source tree, or ``"unknown"``."""
     try:
@@ -146,8 +185,14 @@ def make_record(experiment: str, *, wall_time_s: float,
                 events_dispatched: int, workers: int,
                 simulated_s: float, cells: int,
                 deterministic: Optional[bool] = None,
-                partitions: int = 1) -> BenchRecord:
-    """Assemble a record, deriving events/sec and the git revision."""
+                partitions: int = 1,
+                peak_rss: Optional[int] = None,
+                sessions: Optional[int] = None) -> BenchRecord:
+    """Assemble a record, deriving events/sec, RSS, and the git rev.
+
+    ``peak_rss`` overrides the stamped high-water mark — scale sweeps
+    that measured RSS in a child process pass the child's value here.
+    """
     rate = events_dispatched / wall_time_s if wall_time_s > 0 else 0.0
     return BenchRecord(
         experiment=experiment,
@@ -160,6 +205,9 @@ def make_record(experiment: str, *, wall_time_s: float,
         git_rev=git_rev(),
         deterministic=deterministic,
         partitions=partitions,
+        peak_rss_bytes=peak_rss if peak_rss is not None
+        else peak_rss_bytes(),
+        sessions=sessions,
     )
 
 
@@ -231,13 +279,22 @@ def emit(record: BenchRecord) -> Optional[Path]:
 # Regression gate
 # ----------------------------------------------------------------------
 def compare_records(old: BenchRecord, new: BenchRecord,
-                    max_regression: float = 0.0) -> Tuple[bool, str]:
-    """Throughput regression verdict plus a one-line human summary.
+                    max_regression: float = 0.0,
+                    max_rss_regression: Optional[float] = None
+                    ) -> Tuple[bool, str]:
+    """Throughput (and optional RSS) regression verdict plus a summary.
 
     Passes when ``new.events_per_sec`` is no more than
     ``max_regression`` percent below ``old.events_per_sec``.  Speedups
     always pass; the gate is one-sided on purpose — a faster kernel is
     never a failure.
+
+    When ``max_rss_regression`` is given and both records carry
+    ``peak_rss_bytes``, memory is gated symmetrically:
+    ``new.peak_rss_bytes`` may exceed the old value by at most that
+    percentage.  Shrinking always passes.  Records without an RSS
+    stamp (pre-RSS baselines, platforms without ``resource``) skip the
+    memory gate rather than failing it.
     """
     floor = old.events_per_sec * (1.0 - max_regression / 100.0)
     ok = new.events_per_sec >= floor
@@ -251,6 +308,19 @@ def compare_records(old: BenchRecord, new: BenchRecord,
                f"{new.events_per_sec:,.0f} events/s ({change}); "
                f"floor {floor:,.0f} at max regression "
                f"{max_regression:g}%: {verdict}")
+    if (max_rss_regression is not None
+            and old.peak_rss_bytes and new.peak_rss_bytes):
+        ceiling = old.peak_rss_bytes * (1.0 + max_rss_regression / 100.0)
+        rss_ok = new.peak_rss_bytes <= ceiling
+        rss_delta = 100.0 * (new.peak_rss_bytes / old.peak_rss_bytes
+                             - 1.0)
+        rss_verdict = "OK" if rss_ok else "REGRESSION"
+        message += (f"; RSS {old.peak_rss_bytes / 1e6:,.1f} -> "
+                    f"{new.peak_rss_bytes / 1e6:,.1f} MB "
+                    f"({rss_delta:+.1f}%), ceiling "
+                    f"{ceiling / 1e6:,.1f} MB at max regression "
+                    f"{max_rss_regression:g}%: {rss_verdict}")
+        ok = ok and rss_ok
     return ok, message
 
 
@@ -268,6 +338,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     compare.add_argument(
         "--max-regression", type=float, default=0.0, metavar="PCT",
         help="tolerated events/sec drop in percent (default: 0)")
+    compare.add_argument(
+        "--max-rss-regression", type=float, default=None, metavar="PCT",
+        help="also gate peak RSS: tolerated growth in percent "
+             "(default: RSS not gated; records lacking an RSS stamp "
+             "skip this gate)")
     args = parser.parse_args(argv)
 
     try:
@@ -281,7 +356,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({old.experiment!r} vs {new.experiment!r})",
               file=sys.stderr)
         return 2
-    ok, message = compare_records(old, new, args.max_regression)
+    ok, message = compare_records(old, new, args.max_regression,
+                                  args.max_rss_regression)
     print(message)
     return 0 if ok else 1
 

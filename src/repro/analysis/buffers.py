@@ -13,11 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
-
 from repro.analysis.histogram import empirical_ccdf
 from repro.errors import ConfigurationError
 from repro.net.node import ServerNode
+from repro.optdeps import np, require_numpy
 
 __all__ = ["BufferDistribution", "buffer_distribution"]
 
@@ -42,6 +41,7 @@ class BufferDistribution:
 def buffer_distribution(node: ServerNode,
                         session_id: str) -> BufferDistribution:
     """Reduce a monitored session's occupancy samples at ``node``."""
+    require_numpy("buffer_distribution()")
     series = node.buffer_samples.get(session_id)
     if series is None:
         raise ConfigurationError(

@@ -21,13 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.histogram import histogram
 from repro.analysis.report import format_table
 from repro.faults.injector import DROP_REASONS, FaultInjector
 from repro.net.network import Network
 from repro.net.sink import Sink
+from repro.optdeps import np, require_numpy
 
 __all__ = [
     "SessionFaultStats",
@@ -80,6 +79,7 @@ def deadline_misses(sink: Sink, bound: float) -> Tuple[int, int]:
     Needs the sink's raw delay samples (``keep_samples=True``); without
     them the answer is ``(-1, 0)`` — unknown, not zero.
     """
+    require_numpy("deadline_misses()")
     series = sink.samples
     if series is None:
         return -1, 0

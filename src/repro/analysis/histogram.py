@@ -5,9 +5,8 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-import numpy as np
-
 from repro.errors import ConfigurationError
+from repro.optdeps import np, require_numpy
 
 __all__ = [
     "empirical_cdf",
@@ -21,6 +20,7 @@ __all__ = [
 def empirical_cdf(samples: Sequence[float]
                   ) -> Tuple[np.ndarray, np.ndarray]:
     """Sorted sample values and P(X ≤ x) at each of them."""
+    require_numpy("empirical_cdf()")
     if len(samples) == 0:
         raise ConfigurationError("cannot build a CDF from no samples")
     xs = np.sort(np.asarray(samples, dtype=float))
@@ -38,6 +38,7 @@ def empirical_ccdf(samples: Sequence[float]
 def ccdf_at(samples: Sequence[float],
             points: Sequence[float]) -> np.ndarray:
     """P(X > point) for each requested point (vectorized)."""
+    require_numpy("ccdf_at()")
     if len(samples) == 0:
         raise ConfigurationError("cannot evaluate a CCDF with no samples")
     xs = np.sort(np.asarray(samples, dtype=float))
@@ -53,6 +54,7 @@ def histogram(samples: Sequence[float], bin_width: float,
     Returns (bin left edges, mass per bin). Used for the Figure-8-style
     delay histograms.
     """
+    require_numpy("histogram()")
     if bin_width <= 0:
         raise ConfigurationError(
             f"bin width must be positive, got {bin_width}")
@@ -73,6 +75,7 @@ def tail_percentile(samples: Sequence[float],
     ``tail_percentile(d, 1e-4)`` answers the paper's "about 0.01 % of
     all packets are delayed by more than ..." reading of Figure 9.
     """
+    require_numpy("tail_percentile()")
     if not 0 < tail_probability < 1:
         raise ConfigurationError(
             f"tail probability must be in (0,1), got {tail_probability}")

@@ -30,13 +30,27 @@ from typing import Optional, Tuple
 from repro.analysis import bench
 from repro.units import ms, seconds
 
-__all__ = ["EXPERIMENT", "BASELINE", "kernel_spin", "measure", "main"]
+__all__ = ["EXPERIMENT", "BASELINE", "SCALING_EXPERIMENT",
+           "SCALING_BASELINE", "kernel_spin", "measure",
+           "measure_sessions", "main"]
 
 #: Experiment name stamped into the record (file: BENCH_throughput.json).
 EXPERIMENT = "throughput"
 
 #: The committed gate baseline, relative to the repository root.
 BASELINE = Path("benchmarks") / "baselines" / "BENCH_throughput.json"
+
+#: The ``--sessions`` scaling mode's record name and committed
+#: baseline (one heavy-traffic cell: events/sec and peak RSS at a
+#: given concurrent-session count).
+SCALING_EXPERIMENT = "throughput_scaling"
+SCALING_BASELINE = (Path("benchmarks") / "baselines"
+                    / "BENCH_throughput_scaling.json")
+
+#: Load and seed pinned for the scaling measurement, so records at
+#: different session counts (and on different days) stay comparable.
+SCALING_RHO = 0.95
+SCALING_SEED = 0
 
 #: Tick interval of the spin workload: 0.1 ms, i.e. 10 001 events per
 #: simulated second (plus/minus one from float accumulation).
@@ -79,6 +93,36 @@ def measure(best_of: int = DEFAULT_BEST_OF,
         workers=1, simulated_s=horizon, cells=1)
 
 
+def measure_sessions(sessions: int, *, backend: str = "soa",
+                     horizon: float = DEFAULT_HORIZON
+                     ) -> bench.BenchRecord:
+    """End-to-end throughput *and* peak RSS at a session count.
+
+    Unlike :func:`measure`'s bare kernel spin, this runs one
+    heavy-traffic cell — a single Leave-in-Time node at load
+    ``SCALING_RHO`` carrying ``sessions`` concurrent sessions under
+    ``backend`` — and stamps both ``sessions`` and ``peak_rss_bytes``
+    into the record, so the committed baseline gates memory growth per
+    session alongside events/sec (``bench compare
+    --max-rss-regression``).  Run it in a fresh interpreter for a
+    clean RSS reading (the CLI entry point is one).
+    """
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    # Lazy import: analysis must not pull the experiment stack (and
+    # its numpy-optional machinery) for the plain kernel-spin mode.
+    from repro.experiments.heavy_traffic import _cell
+    output = _cell(topology="single", discipline="leave-in-time",
+                   backend=backend, sessions=sessions,
+                   rho=SCALING_RHO, duration=horizon,
+                   seed=SCALING_SEED)
+    row = output.value
+    return bench.make_record(
+        SCALING_EXPERIMENT, wall_time_s=row.wall_s,
+        events_dispatched=row.events, workers=1, simulated_s=horizon,
+        cells=1, sessions=sessions, peak_rss=row.peak_rss_bytes)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.throughput",
@@ -91,14 +135,41 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--horizon", type=float, default=None,
                         metavar="SECONDS",
                         help="simulated seconds per run (default: 1)")
-    parser.add_argument("--out", metavar="DIR",
-                        default=str(BASELINE.parent),
-                        help="directory for BENCH_throughput.json "
-                             f"(default: {BASELINE.parent})")
+    parser.add_argument("--sessions", type=int, default=None,
+                        metavar="N",
+                        help="scaling mode: run one single-node "
+                             "heavy-traffic cell with N concurrent "
+                             "sessions and record events/sec plus "
+                             "peak RSS (file: "
+                             "BENCH_throughput_scaling.json)")
+    parser.add_argument("--state-backend", choices=["objects", "soa"],
+                        default="soa",
+                        help="state backend for --sessions mode "
+                             "(default: soa)")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="output directory (default: "
+                             f"{BASELINE.parent})")
     args = parser.parse_args(argv)
     horizon = DEFAULT_HORIZON if args.horizon is None else args.horizon
+    if args.sessions is not None:
+        record = measure_sessions(args.sessions,
+                                  backend=args.state_backend,
+                                  horizon=horizon)
+        out = args.out if args.out is not None \
+            else str(SCALING_BASELINE.parent)
+        path = bench.write_record(record, out)
+        rss = record.peak_rss_bytes
+        print(f"{record.experiment}: {record.sessions} sessions "
+              f"({args.state_backend}), "
+              f"{record.events_per_sec:,.0f} events/s, peak RSS "
+              f"{rss / 1e6:,.1f} MB -> {path}"
+              if rss else
+              f"{record.experiment}: {record.sessions} sessions, "
+              f"{record.events_per_sec:,.0f} events/s -> {path}")
+        return 0
     record = measure(args.best_of, horizon)
-    path = bench.write_record(record, args.out)
+    out = args.out if args.out is not None else str(BASELINE.parent)
+    path = bench.write_record(record, out)
     print(f"{record.experiment}: {record.events_per_sec:,.0f} events/s "
           f"({record.events_dispatched} events in "
           f"{record.wall_time_s:.4f} s wall) -> {path}")

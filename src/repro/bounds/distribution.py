@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-import numpy as np
+from repro.optdeps import np, require_numpy
 
 __all__ = ["shifted_ccdf", "shifted_ccdf_function"]
 
@@ -26,6 +26,7 @@ def shifted_ccdf(reference_ccdf: Callable[[float], float], shift: float,
     For ``d < shift`` the bound is the trivial 1.0 (a probability can
     not exceed one, and the reference CCDF at negative arguments is 1).
     """
+    require_numpy("shifted_ccdf()")
     out = np.empty(len(delays), dtype=float)
     for index, d in enumerate(delays):
         argument = d - shift

@@ -40,6 +40,7 @@ from repro.experiments import (
     figure12_13,
     figure14_17,
     firewall,
+    heavy_traffic,
     hop_scaling,
     md1_validation,
     regulator_comparison,
@@ -61,6 +62,7 @@ _SIMULATED: Dict[str, tuple] = {
     "figure14_17": (figure14_17.run, 300.0),
     "fault_sweep": (fault_sweep.run, 60.0),
     "firewall": (firewall.run, 60.0),
+    "heavy_traffic": (heavy_traffic.run, 20.0),
     "ablation": (ablation.run, 30.0),
     "hop_scaling": (hop_scaling.run, 60.0),
     "call_churn": (call_churn.run, 300.0),
@@ -110,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under cProfile and print the top N "
                              "functions by cumulative time "
                              "(default N: 25)")
+    parser.add_argument("--state-backend", choices=["objects", "soa"],
+                        default=None,
+                        help="per-session hot-state storage: 'objects' "
+                             "(reference) or 'soa' (struct-of-arrays "
+                             "SessionTable, needs the [scale] extra); "
+                             "sets REPRO_STATE_BACKEND so sweep worker "
+                             "processes inherit it (default: objects)")
     parser.add_argument("--sanitize", action="store_true",
                         help="install runtime conservation-law checkers "
                              "(packet conservation, reservation sums, "
@@ -160,6 +169,11 @@ def main(argv: Optional[list] = None) -> int:
     workers = args.workers if args.workers is not None \
         else default_workers()
     bench.configure(enabled=True, directory=args.bench_dir)
+    if args.state_backend is not None:
+        # Env var rather than a threaded parameter, for the same
+        # reason as --sanitize below: pool workers inherit it.
+        import os
+        os.environ["REPRO_STATE_BACKEND"] = args.state_backend
     if args.sanitize:
         # The env var (not a threaded parameter) is the switch so the
         # parallel runner's pool workers — which inherit the

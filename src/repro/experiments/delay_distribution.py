@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.histogram import ccdf_at, tail_percentile
 from repro.analysis.report import format_table
 from repro.bounds.delay import SessionBounds, compute_session_bounds
@@ -38,6 +36,7 @@ from repro.net.network import Network
 from repro.net.route import route_from_letters
 from repro.net.session import Session
 from repro.net.topology import CROSS_ONE_HOP_ROUTES
+from repro.optdeps import np, require_numpy
 from repro.sched.reference import reference_delays
 from repro.traffic.deterministic import DeterministicSource
 from repro.traffic.poisson import PoissonSource
@@ -111,6 +110,7 @@ def _cell(*, figure: str,
           seed: int,
           delay_grid_ms: Optional[Sequence[float]]) -> CellOutput:
     """The single distribution cell (the result holds the network)."""
+    require_numpy("delay-distribution experiments")
     network = build_cross_network(seed=seed)
     target = Session(TARGET_SESSION, rate=target_rate, route=FIVE_HOP,
                      l_max=PAPER_PACKET_BITS)

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from repro.analysis.histogram import histogram
 from repro.analysis.report import format_table
 from repro.bounds.delay import SessionBounds, compute_session_bounds
@@ -25,6 +23,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.parallel import Cell, CellOutput, cell_output, run_cells
 from repro.net.network import Network
+from repro.optdeps import np, require_numpy
 from repro.units import ms, to_ms
 
 __all__ = ["Figure8Result", "cells", "run",
@@ -69,7 +68,7 @@ class Figure8Result:
 
     def to_csv(self, path) -> None:
         """Write both sessions' delay histograms (1 ms bins) to CSV."""
-        import numpy as np
+        require_numpy("Figure8Result.to_csv()")
 
         from repro.analysis.export import write_series_csv
         edges_nc, mass_nc = self.delay_histogram(SESSION_NO_CONTROL)

@@ -19,14 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-import numpy as np
-
 from repro.analysis.confidence import ConfidenceInterval, batch_means
 from repro.analysis.histogram import ccdf_at
 from repro.analysis.report import format_table
 from repro.bounds.md1 import md1_delay_ccdf, md1_mean_wait
 from repro.net.network import Network
 from repro.net.session import Session
+from repro.optdeps import np, require_numpy
 from repro.sched.leave_in_time import LeaveInTime
 from repro.traffic.poisson import PoissonSource
 from repro.units import to_ms
@@ -79,6 +78,7 @@ class Md1ValidationResult:
 
 
 def _run_point(rho: float, *, duration: float, seed: int) -> Md1Point:
+    require_numpy("md1_validation")
     mean_interarrival = PACKET / (rho * RATE)
     network = Network(seed=seed)
     network.add_node("n1", LeaveInTime(), capacity=RATE)

@@ -26,19 +26,53 @@ from repro.sim.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.verify.sanitizer import Sanitizer
     from repro.faults.injector import FaultInjector
+    from repro.net.session_table import SessionTable
     from repro.sim.parallel import ShardContext
 
 __all__ = ["Network"]
 
+#: Recognised values for ``Network(state_backend=...)`` and the
+#: ``REPRO_STATE_BACKEND`` environment variable.
+_BACKENDS = ("objects", "soa")
+
 
 class Network:
-    """A packet network with pluggable per-node service disciplines."""
+    """A packet network with pluggable per-node service disciplines.
+
+    ``state_backend`` selects how per-session hot state is stored:
+
+    * ``"objects"`` (default) — one small Python object per session per
+      concern, the reference implementation.
+    * ``"soa"`` — a shared :class:`~repro.net.session_table.SessionTable`
+      of numpy parallel arrays, built for 10^5-10^6 concurrent sessions
+      (requires the optional ``[scale]`` extra).
+
+    ``None`` defers to the ``REPRO_STATE_BACKEND`` environment variable
+    (so experiment builders need no plumbing), falling back to
+    ``"objects"``.  Both backends produce bit-identical dispatch
+    digests (``tests/sim/test_state_backends.py``).
+    """
 
     def __init__(self, *, sim: Optional[Simulator] = None, seed: int = 0,
                  tracer: Optional[Tracer] = None,
                  l_max_network: Optional[float] = None,
-                 sanitizer: Optional["Sanitizer"] = None) -> None:
+                 sanitizer: Optional["Sanitizer"] = None,
+                 state_backend: Optional[str] = None) -> None:
         self.sim = sim or Simulator()
+        if state_backend is None:
+            state_backend = os.environ.get(
+                "REPRO_STATE_BACKEND", "").strip() or "objects"
+        if state_backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown state_backend {state_backend!r}; "
+                f"expected one of {_BACKENDS}")
+        self.state_backend = state_backend
+        self.session_table: Optional["SessionTable"] = None
+        if state_backend == "soa":
+            # Lazy import: the objects backend must not pay for (or
+            # require) numpy.
+            from repro.net.session_table import SessionTable
+            self.session_table = SessionTable()
         if sanitizer is None and os.environ.get("REPRO_SANITIZE"):
             # Lazy import: the sanitizer module (and the env check
             # itself) must cost nothing on the default path, and the
@@ -95,14 +129,23 @@ class Network:
         if self.sanitizer is not None:
             node.sanitizer = self.sanitizer
             scheduler.sanitizer = self.sanitizer
+        if self.session_table is not None:
+            node.use_session_table(self.session_table)
         self.nodes[name] = node
         return node
 
     def add_session(self, session: Session, *, keep_samples: bool = True,
                     max_samples: Optional[int] = None,
                     warmup: float = 0.0,
-                    keep_packets: bool = False) -> Sink:
-        """Register a session on every node of its route; create its sink."""
+                    keep_packets: bool = False,
+                    sink: Optional[Sink] = None) -> Sink:
+        """Register a session on every node of its route; create its sink.
+
+        Pass ``sink`` to attach an existing (possibly shared) sink
+        instead of creating a dedicated one — the heavy-traffic
+        experiments aggregate 10^5 sessions into one
+        :class:`~repro.net.sink.SharedSink` this way.
+        """
         if session.id in self.sessions:
             raise ConfigurationError(f"duplicate session id {session.id!r}")
         if session.id in self._draining:
@@ -117,11 +160,14 @@ class Network:
         self.sessions[session.id] = session
         if session.l_max > self._l_max_seen:
             self._l_max_seen = session.l_max
+        if self.session_table is not None:
+            session.slot = self.session_table.acquire(session)
         for node_name in session.route:
             self.nodes[node_name].register_session(session)
-        sink = Sink(session.id, keep_samples=keep_samples,
-                    max_samples=max_samples, warmup=warmup,
-                    keep_packets=keep_packets)
+        if sink is None:
+            sink = Sink(session.id, keep_samples=keep_samples,
+                        max_samples=max_samples, warmup=warmup,
+                        keep_packets=keep_packets)
         self.sinks[session.id] = sink
         return sink
 
@@ -168,6 +214,9 @@ class Network:
             node = self.nodes[node_name]
             node.scheduler.forget_session(session.id)
             node.forget_session(session.id)
+        if self.session_table is not None:
+            self.session_table.release(session.id)
+            session.slot = -1
         self._draining.pop(session.id, None)
         if not keep_sink:
             self.sinks.pop(session.id, None)

@@ -56,7 +56,19 @@ class Session:
         When true, every node on the route samples this session's
         per-node buffer occupancy at each packet arrival (the paper's
         Figures 12-13 measurement).
+
+    Notes
+    -----
+    Sessions are ``__slots__``-ed and their (usually empty) policy map
+    is allocated lazily: the heavy-traffic experiments keep 10^5-10^6
+    live ``Session`` objects, and the instance dict plus an empty
+    ``delay_policies`` dict per session used to double their footprint
+    (see ``docs/performance.md``).
     """
+
+    __slots__ = ("id", "rate", "route", "l_max", "l_min",
+                 "jitter_control", "token_bucket", "monitor_buffer",
+                 "_delay_policies", "packets_sent", "slot")
 
     def __init__(self, session_id: str, rate: float,
                  route: Sequence[str], *, l_max: float,
@@ -98,10 +110,24 @@ class Session:
         self.token_bucket = token_bucket
         self.monitor_buffer = bool(monitor_buffer)
         #: Per-node delay policies assigned by admission control,
-        #: keyed by node name. Empty means VirtualClock defaults.
-        self.delay_policies: Dict[str, "DelayPolicy"] = {}
+        #: keyed by node name; None until the first assignment (most
+        #: sessions run on VirtualClock defaults and never allocate
+        #: the dict). Read through :attr:`delay_policies`.
+        self._delay_policies: Optional[Dict[str, "DelayPolicy"]] = None
         #: Number of packets injected so far (source bookkeeping).
         self.packets_sent = 0
+        #: Dense slot in the network's
+        #: :class:`~repro.net.session_table.SessionTable` under the
+        #: ``soa`` state backend; -1 when unassigned (objects backend,
+        #: or released after drain).
+        self.slot = -1
+
+    @property
+    def delay_policies(self) -> Dict[str, "DelayPolicy"]:
+        """Per-node policy map, created on first access."""
+        if self._delay_policies is None:
+            self._delay_policies = {}
+        return self._delay_policies
 
     @property
     def hops(self) -> int:
@@ -116,7 +142,9 @@ class Session:
 
     def policy_for(self, node_name: str) -> Optional["DelayPolicy"]:
         """The delay policy admission control assigned at ``node_name``."""
-        return self.delay_policies.get(node_name)
+        if self._delay_policies is None:
+            return None
+        return self._delay_policies.get(node_name)
 
     def set_policy(self, node_name: str, policy: "DelayPolicy") -> None:
         if node_name not in self.route:

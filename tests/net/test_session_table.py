@@ -1,0 +1,117 @@
+"""Unit tests for the struct-of-arrays session table.
+
+The cross-backend behavioural gates live in
+``tests/sim/test_state_backends.py``; this file pins the table's own
+contract: slot assignment is deterministic (lowest fresh first, LIFO
+reuse), release resets every attached column group, growth preserves
+contents, and the numpy gate fails with an actionable message.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import session_table as st_module
+from repro.net.session import Session
+from repro.net.session_table import (
+    SessionTable,
+    numpy_available,
+    require_numpy,
+)
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="needs the [scale] extra (numpy)")
+
+
+def _session(sid: str, rate: float = 100.0) -> Session:
+    return Session(sid, rate=rate, route=["n1"], l_max=500.0)
+
+
+def test_acquire_hands_out_lowest_fresh_slot_first():
+    table = SessionTable(capacity=4)
+    slots = [table.acquire(_session(f"s{i}")) for i in range(3)]
+    assert slots == [0, 1, 2]
+
+
+def test_acquire_is_idempotent_per_id():
+    table = SessionTable(capacity=4)
+    session = _session("s")
+    assert table.acquire(session) == table.acquire(session) == 0
+    assert len(table) == 1
+
+
+def test_release_then_acquire_reuses_lifo():
+    table = SessionTable(capacity=8)
+    for i in range(4):
+        table.acquire(_session(f"s{i}"))
+    table.release("s1")
+    table.release("s3")
+    # Most recently released first (LIFO), then fresh slots.
+    assert table.acquire(_session("a")) == 3
+    assert table.acquire(_session("b")) == 1
+    assert table.acquire(_session("c")) == 4
+
+
+def test_slot_lookup_returns_minus_one_for_unknown():
+    table = SessionTable(capacity=2)
+    table.acquire(_session("s"))
+    assert table.slot("s") == 0
+    assert table.slot("ghost") == -1
+    table.release("s")
+    assert table.slot("s") == -1
+
+
+def test_release_resets_every_attached_group():
+    table = SessionTable(capacity=2)
+    group = table.group()
+    group.add("k_prev", 0.0)
+    group.add("member", False, dtype="bool")
+    slot = table.acquire(_session("s", rate=250.0))
+    group.k_prev[slot] = 7.5
+    group.member[slot] = True
+    assert table.core.rate.item(slot) == 250.0
+    table.release("s")
+    assert group.k_prev.item(slot) == 0.0
+    assert not group.member.item(slot)
+    assert table.core.rate.item(slot) == 0.0
+
+
+def test_growth_preserves_slot_contents():
+    table = SessionTable(capacity=2)
+    group = table.group()
+    group.add("value", -1.0)
+    first = table.acquire(_session("s0", rate=111.0))
+    group.value[first] = 42.0
+    for i in range(1, 10):  # forces two doublings past capacity 2
+        table.acquire(_session(f"s{i}"))
+    assert table.capacity >= 10
+    assert group.value.item(first) == 42.0
+    assert table.core.rate.item(first) == 111.0
+    assert group.value.item(9) == -1.0  # fresh slots hold the fill
+
+
+def test_duplicate_column_name_rejected():
+    table = SessionTable(capacity=2)
+    group = table.group()
+    group.add("bits", 0.0)
+    with pytest.raises(SimulationError, match="duplicate"):
+        group.add("bits", 0.0)
+
+
+def test_reserved_attribute_name_rejected():
+    table = SessionTable(capacity=2)
+    group = table.group()
+    with pytest.raises(SimulationError, match="duplicate"):
+        group.add("reset_slot", 0.0)
+
+
+def test_require_numpy_raises_actionable_error(monkeypatch):
+    monkeypatch.setattr(st_module, "_np", None)
+    with pytest.raises(SimulationError, match=r"repro\[scale\]"):
+        require_numpy()
+
+
+def test_soa_backend_unavailable_without_numpy(monkeypatch):
+    from repro.net.network import Network
+    monkeypatch.setattr(st_module, "_np", None)
+    with pytest.raises(SimulationError, match="state_backend"):
+        Network(state_backend="soa")

@@ -1,0 +1,143 @@
+"""Cross-backend equivalence gates for the soa session table.
+
+``Network(state_backend="soa")`` swaps every per-session Python object
+(node buffer records, Leave-in-Time recursion state, EDD bound caches)
+for flat numpy arrays.  The refactor must be *behaviourally invisible*:
+the soa hot paths read scalars out of the arrays with ``ndarray.item``
+and do the arithmetic in Python floats — the exact IEEE-754 operations
+the objects path performs — so every observable must come out
+bit-identical, not merely close.  These gates pin that on the same
+cells earlier overhauls used (PR 3's fused kernel, PR 7's space-
+parallel sharding):
+
+* the shortened Figure-7 MIX cell, tracing off and on (against the
+  committed goldens, so both backends also match the pre-overhaul
+  kernel);
+* a call-churn cell — admission, per-call teardown, and slot reuse
+  under dynamic load;
+* fault-sweep cells, clean and faulted — drops, link flaps, and
+  requeue recovery mutating per-session counters.
+
+Plus the dense-id regression the refactor is most likely to break:
+slot recycling after ``forget_session`` must hand a *zeroed* slot to
+the next admission, never a stale one.
+
+The randomized generalisation of these gates lives in
+``tests/properties/test_state_backend_properties.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.experiments import call_churn, fault_sweep
+from repro.net.session_table import numpy_available
+from repro.sched.leave_in_time import LeaveInTime
+from tests.conftest import add_trace_session, make_network
+from tests.sim.test_dispatch_digest import (
+    FIG07_CELL_DIGEST_TRACE_OFF,
+    FIG07_CELL_DIGEST_TRACE_ON,
+    fig07_cell_digest,
+)
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="needs the [scale] extra (numpy)")
+
+BACKENDS = ("objects", "soa")
+
+
+def _churn_digest() -> str:
+    output = call_churn._cell(duration=8.0, seed=0,
+                              offered_erlangs=12.0, mean_holding=2.0)
+    result = output.value
+    parts = [repr(call) for call in result.calls]
+    parts.append(repr(output.events))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def _fault_digest(outage: float) -> str:
+    output = fault_sweep._cell(discipline="leave-in-time",
+                               outage=outage, duration=6.0, seed=0)
+    parts = [repr(output.value), repr(output.events)]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+@pytest.mark.parametrize("trace_on", [False, True])
+def test_fig07_cell_digest_matches_golden_under_soa(
+        monkeypatch, trace_on):
+    monkeypatch.setenv("REPRO_STATE_BACKEND", "soa")
+    golden = (FIG07_CELL_DIGEST_TRACE_ON if trace_on
+              else FIG07_CELL_DIGEST_TRACE_OFF)
+    assert fig07_cell_digest(trace_on=trace_on) == golden
+
+
+def test_call_churn_cell_digest_identical_across_backends(monkeypatch):
+    digests = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_STATE_BACKEND", backend)
+        digests[backend] = _churn_digest()
+    assert digests["objects"] == digests["soa"]
+
+
+@pytest.mark.parametrize("outage", [0.0, 1.0],
+                         ids=["clean", "faulted"])
+def test_fault_sweep_cell_digest_identical_across_backends(
+        monkeypatch, outage):
+    digests = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_STATE_BACKEND", backend)
+        digests[backend] = _fault_digest(outage)
+    assert digests["objects"] == digests["soa"]
+
+
+# ----------------------------------------------------------------------
+# Slot reuse after teardown
+# ----------------------------------------------------------------------
+def test_forget_session_recycles_a_zeroed_slot(monkeypatch):
+    """A reused slot must start from fill values, not stale state."""
+    monkeypatch.setenv("REPRO_STATE_BACKEND", "soa")
+    network = make_network(LeaveInTime, nodes=2, capacity=1000.0)
+    add_trace_session(network, "a", rate=100.0,
+                      times=[0.0, 0.1, 0.2], lengths=100.0,
+                      route=["n1", "n2"])
+    add_trace_session(network, "b", rate=100.0,
+                      times=[0.05, 0.15], lengths=100.0,
+                      route=["n1", "n2"])
+    network.run(5.0)
+    table = network.session_table
+    slot_a = table.slot("a")
+    assert slot_a >= 0
+    network.remove_session("a")
+    assert table.slot("a") == -1
+    # LIFO reuse: the next admission takes a's slot back.
+    _, sink_c, _ = add_trace_session(
+        network, "c", rate=100.0, times=[0.0, 0.1], lengths=100.0,
+        route=["n1", "n2"])
+    assert table.slot("c") == slot_a
+    # The recycled slot starts clean: zero buffered bits, zero drops,
+    # and the deadline recursion restarts from c's first arrival.
+    node = network.node("n1")
+    assert node.buffer_bits.get("c", 0.0) == 0.0
+    network.run(10.0)
+    assert sink_c.received == 2
+    assert node.buffer_bits["c"] == 0.0
+    assert node.drop_count("c") == 0
+    # b was untouched by a's teardown and c's admission.
+    assert network.sink("b").received == 2
+
+
+def test_drain_accounting_survives_mid_flight_removal(monkeypatch):
+    """Drain-then-forget keeps array accounting exact under soa."""
+    monkeypatch.setenv("REPRO_STATE_BACKEND", "soa")
+    network = make_network(LeaveInTime, capacity=1.0)
+    add_trace_session(network, "s", rate=1.0, times=[0.0],
+                      lengths=10.0)
+    network.run(5.0)  # the 10 s packet is still on the wire
+    network.remove_session("s")
+    assert network.session_table.slot("s") >= 0  # draining, not freed
+    network.run(20.0)
+    assert network.sink("s").received == 1
+    assert network.session_table.slot("s") == -1
+    assert "s" not in network.node("n1").buffer_bits
