@@ -9,10 +9,12 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: ci test ruff repro-lint repro-verify repro-det perturb-smoke \
-	parallel-smoke sanitize mypy perf-guard heavy-traffic-smoke
+	parallel-smoke sanitize backend-matrix compiled-backend mypy \
+	perf-guard backend-perf-guard heavy-traffic-smoke
 
 ci: test ruff repro-lint repro-verify repro-det perturb-smoke \
-	parallel-smoke sanitize mypy perf-guard heavy-traffic-smoke
+	parallel-smoke sanitize backend-matrix mypy perf-guard \
+	backend-perf-guard heavy-traffic-smoke
 	@echo "== ci: all jobs done =="
 
 test:
@@ -59,6 +61,25 @@ sanitize:
 	$(PYTHON) -m repro figure07 --duration 1 --workers 1 --sanitize --bench-dir /tmp/repro-sanitize
 	$(PYTHON) -m repro fault_sweep --duration 5 --workers 2 --sanitize --bench-dir /tmp/repro-sanitize
 
+compiled-backend:
+	@echo "== build: compiled kernel backend (_ckernel) =="
+	@REPRO_BUILD_CKERNEL=1 $(PYTHON) setup.py build_ext --inplace \
+		|| echo "-- _ckernel build failed: compiled backend unavailable (graceful) --"
+
+backend-matrix: compiled-backend
+	@echo "== ci job: backend-matrix =="
+	@for b in python batch compiled; do \
+		echo "-- backend: $$b --"; \
+		$(PYTHON) -m pytest -q \
+			tests/sim/test_dispatch_digest.py \
+			tests/sim/test_kernel_backends.py \
+			tests/properties/test_kernel_dispatch_properties.py \
+			-k "$$b" || exit 1; \
+	done
+	@echo "-- cross-backend digest equality --"
+	$(PYTHON) -m pytest -q tests/sim/test_kernel_backends.py \
+		-k "across_backends"
+
 mypy:
 	@echo "== ci job: mypy =="
 	@if command -v mypy >/dev/null 2>&1; then \
@@ -75,6 +96,18 @@ perf-guard:
 			/tmp/repro-perf/BENCH_throughput.json \
 			--max-regression 25 \
 		|| echo "-- perf-guard: regression or error (soft-fail, not blocking) --"
+
+backend-perf-guard: compiled-backend
+	@echo "== ci job: backend-perf-guard (soft-fail) =="
+	@for b in python batch compiled; do \
+		$(PYTHON) -m repro.analysis.throughput --kernel-backend $$b \
+				--best-of 5 --out /tmp/repro-perf \
+			&& $(PYTHON) -m repro.analysis.bench compare \
+				benchmarks/baselines/BENCH_throughput_$$b.json \
+				/tmp/repro-perf/BENCH_throughput_$$b.json \
+				--max-regression 30 \
+			|| echo "-- backend-perf-guard[$$b]: regression or error (soft-fail, not blocking) --"; \
+	done
 
 heavy-traffic-smoke:
 	@echo "== ci job: heavy-traffic-smoke =="

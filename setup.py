@@ -1,10 +1,29 @@
 """Legacy setup shim.
 
-All metadata lives in pyproject.toml; this file exists only so that
+All metadata lives in pyproject.toml; this file exists so that
 ``pip install -e .`` works in offline environments whose setuptools
-lacks the PEP 517 editable hooks (no `wheel` package available).
+lacks the PEP 517 editable hooks (no `wheel` package available), and
+so the optional C dispatch core can be built on demand::
+
+    REPRO_BUILD_CKERNEL=1 python setup.py build_ext --inplace
+
+The extension is opt-in (gated on the environment variable) because
+the default install must stay pure-Python: no compiler is assumed,
+and the 'compiled' kernel backend degrades gracefully through
+repro.sim.backends.compiled when the module is absent.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, setup
+
+ext_modules = []
+if os.environ.get("REPRO_BUILD_CKERNEL", "").strip() == "1":
+    ext_modules.append(
+        Extension(
+            "repro.sim._ckernel",
+            sources=["src/repro/sim/_ckernel.c"],
+            optional=True,
+        ))
+
+setup(ext_modules=ext_modules)

@@ -23,7 +23,8 @@ The JSON schema is flat and versioned::
       "deterministic": true,
       "partitions": 1,
       "peak_rss_bytes": 48234496,
-      "sessions": null
+      "sessions": null,
+      "kernel_backend": null
     }
 
 ``deterministic`` is stamped by the ``repro-det --perturb`` differ
@@ -37,6 +38,10 @@ concurrent-session count for scale-sweep records (heavy traffic,
 ``repro.analysis.throughput --sessions``) and ``null`` for the
 paper-scale experiments, whose session count is fixed by the MIX/CROSS
 configuration.
+
+``kernel_backend`` names the dispatch engine the run selected
+("python", "batch", "compiled"); ``null`` for records that predate
+pluggable backends or that ran on the ambient default.
 
 ``simulated_s`` is the *total* simulated horizon across all cells of
 the sweep (duration × cells for a uniform sweep), so
@@ -127,6 +132,11 @@ class BenchRecord:
     #: heavy-traffic experiment, ``throughput --sessions``); None for
     #: fixed-population experiments.  Additive default.
     sessions: Optional[int] = None
+    #: Kernel dispatch engine the run used ("python", "batch",
+    #: "compiled"); None for records that predate pluggable backends
+    #: or whose backend is the ambient default.  Additive default —
+    #: same compatibility story as ``deterministic``.
+    kernel_backend: Optional[str] = None
 
 
 class Stopwatch:
@@ -187,7 +197,8 @@ def make_record(experiment: str, *, wall_time_s: float,
                 deterministic: Optional[bool] = None,
                 partitions: int = 1,
                 peak_rss: Optional[int] = None,
-                sessions: Optional[int] = None) -> BenchRecord:
+                sessions: Optional[int] = None,
+                kernel_backend: Optional[str] = None) -> BenchRecord:
     """Assemble a record, deriving events/sec, RSS, and the git rev.
 
     ``peak_rss`` overrides the stamped high-water mark — scale sweeps
@@ -208,6 +219,7 @@ def make_record(experiment: str, *, wall_time_s: float,
         peak_rss_bytes=peak_rss if peak_rss is not None
         else peak_rss_bytes(),
         sessions=sessions,
+        kernel_backend=kernel_backend,
     )
 
 

@@ -1,0 +1,13 @@
+"""Type stub for the optional C dispatch core (repro/sim/_ckernel.c).
+
+Keeps strict mypy over repro.sim.* working whether or not the
+extension has been built in this checkout.
+"""
+
+from typing import Optional
+
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+
+def drain(sim: Simulator, queue: EventQueue, until: Optional[float],
+          exclusive: bool) -> float: ...

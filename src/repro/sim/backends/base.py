@@ -1,0 +1,76 @@
+"""The minimal kernel-backend contract every dispatch engine honours.
+
+Extracted from the reference kernel (:mod:`repro.sim.kernel`): the five
+operations the rest of the tree is allowed to assume.  Everything else
+on :class:`~repro.sim.kernel.Simulator` (``run``'s keyword surface,
+``step``, ``reset``, the diagnostics properties) is defined *in terms
+of* these five, so a backend that implements them faithfully is
+substitutable everywhere — networks, experiments, the space-parallel
+shard driver, and the analysis tooling never see the difference.
+
+The contract is semantic, not just structural:
+
+* ``schedule``/``schedule_at`` return a live, cancellable
+  :class:`~repro.sim.events.Event` handle and establish the
+  ``(time, priority, seq)`` total order — insertion order breaks ties,
+  bit-for-bit identically across backends (the digest goldens in
+  ``tests/sim/test_dispatch_digest.py`` enforce this, parameterized
+  over every backend);
+* ``pop`` removes and returns the earliest live event without running
+  it, marking its handle stale;
+* ``dispatch`` drains events in order, honouring the inclusive and
+  exclusive ``until`` horizons and the ``max_events`` valve exactly as
+  the reference loop does (sentinel tie classes included);
+* ``clear`` drops every pending event, marking their handles stale so
+  late ``cancel()`` calls stay inert.
+
+Backends subclass :class:`~repro.sim.kernel.Simulator` rather than
+this protocol — the protocol exists so the contract is written down in
+one importable place and so tests can assert conformance structurally
+(``isinstance`` via ``runtime_checkable``).
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Optional, Protocol, runtime_checkable)
+
+from repro.sim.events import Event
+
+__all__ = ["KernelBackend"]
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Structural type of a kernel dispatch engine.
+
+    ``runtime_checkable`` checks method presence only; the *semantic*
+    half of the contract is enforced by the cross-backend digest and
+    property suites.
+    """
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any, priority: int = 0) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual
+        time; returns a live, cancellable handle."""
+        ...  # pragma: no cover - protocol stub
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any, priority: int = 0) -> Event:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        ...  # pragma: no cover - protocol stub
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event without running
+        it (``None`` when nothing is pending); the handle goes stale."""
+        ...  # pragma: no cover - protocol stub
+
+    def dispatch(self, until: Optional[float] = None,
+                 max_events: Optional[int] = None, *,
+                 exclusive: bool = False) -> float:
+        """Drain pending events in ``(time, priority, seq)`` order up
+        to the horizon; returns the clock when the loop stopped."""
+        ...  # pragma: no cover - protocol stub
+
+    def clear(self) -> None:
+        """Drop every pending event, marking their handles stale."""
+        ...  # pragma: no cover - protocol stub

@@ -29,6 +29,16 @@ Design notes
   so a held handle can never be mutated into a different event.  The
   loop is behaviourally identical to ``while step(): ...`` — proven by
   the digest-equality tests in ``tests/sim/test_dispatch_digest.py``.
+* The dispatch engine is *pluggable*: ``Simulator(backend=...)`` is a
+  factory that resolves a backend name (argument >
+  ``REPRO_KERNEL_BACKEND`` > ``"python"``) and builds the matching
+  implementation class — this reference loop, the batch-dispatch
+  engine, or the compiled C core (:mod:`repro.sim.backends`).  Every
+  backend honours the five-method contract in
+  :mod:`repro.sim.backends.base` and is held to bit-identical dispatch
+  digests.  Subclasses other than :class:`Simulator` itself are never
+  redirected, so test doubles and the perturbation kernels instantiate
+  directly.
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ import heapq
 from math import inf
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.events import (FREE_LIST_MAX, USER_PRIORITY_MAX,
                               USER_PRIORITY_MIN, Event, EventQueue,
                               _recycled)
@@ -95,7 +105,34 @@ class Simulator:
 
     __slots__ = ("_queue", "now", "_running", "_dispatched", "sanitizer")
 
-    def __init__(self) -> None:
+    #: Canonical backend name of this implementation class.  The
+    #: ``backend`` property reports it and the ``Simulator(...)``
+    #: factory selects an implementation by it; backend subclasses
+    #: override it (:mod:`repro.sim.backends`).
+    backend_name = "python"
+
+    def __new__(cls, *args: Any, backend: Optional[str] = None,
+                **kwargs: Any) -> "Simulator":
+        # Factory hook: a plain `Simulator(...)` call resolves the
+        # backend name (argument > REPRO_KERNEL_BACKEND env > default)
+        # and builds the matching implementation class.  Subclasses —
+        # the backends themselves, TiebreakShuffledSimulator, test
+        # doubles — are never redirected and construct directly.
+        if cls is Simulator:
+            from repro.sim import backends
+            cls = backends.simulator_class(
+                backends.resolve_backend(backend))
+        instance: "Simulator" = object.__new__(cls)
+        return instance
+
+    def __init__(self, *, backend: Optional[str] = None) -> None:
+        if backend is not None and backend != self.backend_name:
+            # Reachable only by instantiating a backend class directly
+            # with a conflicting name; the factory path always agrees.
+            raise ConfigurationError(
+                f"{type(self).__name__} implements the "
+                f"{self.backend_name!r} kernel backend; it cannot be "
+                f"instantiated as {backend!r}")
         self._queue = EventQueue()
         #: Current simulated time in seconds.  A plain attribute rather
         #: than a property: callbacks read the clock several times per
@@ -112,6 +149,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend this simulator dispatches on."""
+        return self.backend_name
+
     @property
     def events_dispatched(self) -> int:
         """Total number of events executed so far (for diagnostics)."""
@@ -183,14 +225,33 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event without running it.
+
+        Part of the backend contract
+        (:class:`~repro.sim.backends.base.KernelBackend`): the handle
+        goes stale exactly as it would at dispatch, so a later
+        ``cancel()`` is a no-op.  Returns ``None`` when nothing is
+        pending.
+        """
+        return self._queue.pop()
+
+    def dispatch(self, until: Optional[float] = None,
+                 max_events: Optional[int] = None, *,
+                 exclusive: bool = False) -> float:
+        """Drain pending events — the backend-contract name for
+        :meth:`run`; identical semantics and return value."""
+        return self.run(until, max_events, exclusive=exclusive)
+
     def step(self) -> bool:
         """Dispatch the single earliest event.
 
         Returns ``True`` if an event ran, ``False`` if the queue was
         empty.  The cold-path sibling of :meth:`run`: same dispatch
-        semantics, no event recycling.
+        semantics, no event recycling.  Routed through :meth:`pop` so
+        backends that stage entries outside the heap stay correct.
         """
-        event = self._queue.pop()
+        event = self.pop()
         if event is None:
             return False
         self.now = event.time
@@ -381,8 +442,18 @@ class Simulator:
             self._running = False
         return self.now
 
+    def clear(self) -> None:
+        """Drop every pending event, marking their handles stale.
+
+        The clock and the dispatch counter keep their values; use
+        :meth:`reset` to rewind those too.  Part of the backend
+        contract — backends that stage entries outside the heap
+        override this to invalidate them as well.
+        """
+        self._queue.clear()
+
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
-        self._queue.clear()
+        self.clear()
         self.now = 0.0
         self._dispatched = 0

@@ -15,10 +15,25 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.sim.backends import (KERNEL_BACKENDS, available_backends,
+                                simulator_class)
 from repro.sim.kernel import Simulator
+
+# Every claim below holds per backend: the fused-vs-naive equality is
+# the semantic half of the backend contract, and the recycling claims
+# keep handle safety honest under batched dispatch too.
+pytestmark = pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
+
+
+def make_simulator(kernel_backend: str) -> Simulator:
+    if kernel_backend not in available_backends():
+        pytest.skip(f"kernel backend {kernel_backend!r} not built here")
+    return simulator_class(kernel_backend)()
+
 
 #: Small grid with repeats so same-instant ties are common.
 DELAYS = [0.0, 0.001, 0.001, 0.002, 0.0035, 0.005, 0.01, 0.0, 0.0025]
@@ -149,9 +164,10 @@ def run_workload(engine, script, until: float, max_events: int):
        until_idx=st.integers(0, len(DELAYS) - 1),
        max_events=st.integers(1, 60))
 def test_fused_loop_dispatches_identically_to_reference(
-        script, until_idx, max_events):
+        kernel_backend, script, until_idx, max_events):
     until = DELAYS[until_idx] * 3 + 0.001
-    fused = run_workload(Simulator(), script, until, max_events)
+    fused = run_workload(make_simulator(kernel_backend), script, until,
+                         max_events)
     reference = run_workload(RefEngine(), script, until, max_events)
     assert fused == reference
 
@@ -162,8 +178,9 @@ def test_fused_loop_dispatches_identically_to_reference(
                      st.integers(-2, 2),
                      st.integers(0, 9)),
            min_size=1, max_size=20))
-def test_live_count_survives_stale_handle_abuse(script):
-    sim = Simulator()
+def test_live_count_survives_stale_handle_abuse(kernel_backend,
+                                                   script):
+    sim = make_simulator(kernel_backend)
     handles = [sim.schedule(DELAYS[d], lambda: None, priority=p)
                for d, p, _ in script]
     # Cancel a few, dispatch everything, then abuse every stale handle.
@@ -182,8 +199,8 @@ def test_live_count_survives_stale_handle_abuse(script):
     assert sim.pending == 0
 
 
-def test_held_handle_is_never_recycled():
-    sim = Simulator()
+def test_held_handle_is_never_recycled(kernel_backend):
+    sim = make_simulator(kernel_backend)
     held = sim.schedule(0.1, lambda: None)
     sim.run()
     assert held.cancelled  # stale after dispatch
@@ -197,8 +214,8 @@ def test_held_handle_is_never_recycled():
     sim.run()
 
 
-def test_discarded_handles_are_recycled_and_reused():
-    sim = Simulator()
+def test_discarded_handles_are_recycled_and_reused(kernel_backend):
+    sim = make_simulator(kernel_backend)
     for _ in range(5):
         sim.schedule(0.1, lambda: None)  # handles discarded
     sim.run()

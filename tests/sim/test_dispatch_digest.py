@@ -28,8 +28,11 @@ from __future__ import annotations
 import hashlib
 from typing import List, Tuple
 
+import pytest
+
 from repro.experiments.common import build_mix_network
 from repro.experiments.figure07 import TARGET_SESSION
+from repro.sim.backends import KERNEL_BACKENDS, available_backends
 from repro.sim.kernel import Simulator
 from repro.units import ms, seconds
 
@@ -124,13 +127,26 @@ def fig07_cell_digest(trace_on: bool) -> str:
     return _digest(parts)
 
 
-def test_kernel_dispatch_order_is_bit_identical():
+# Every kernel backend must reproduce the goldens bit-for-bit — the
+# equivalence half of the backend contract (repro.sim.backends.base).
+# Selection goes through the environment variable, the same path the
+# CI matrix and sweep pool workers use.
+@pytest.fixture(params=KERNEL_BACKENDS)
+def kernel_backend(request, monkeypatch):
+    name = request.param
+    if name not in available_backends():
+        pytest.skip(f"kernel backend {name!r} not built here")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", name)
+    return name
+
+
+def test_kernel_dispatch_order_is_bit_identical(kernel_backend):
     assert kernel_order_digest() == KERNEL_ORDER_DIGEST
 
 
-def test_fig07_cell_is_bit_identical_tracing_off():
+def test_fig07_cell_is_bit_identical_tracing_off(kernel_backend):
     assert fig07_cell_digest(trace_on=False) == FIG07_CELL_DIGEST_TRACE_OFF
 
 
-def test_fig07_cell_is_bit_identical_tracing_on():
+def test_fig07_cell_is_bit_identical_tracing_on(kernel_backend):
     assert fig07_cell_digest(trace_on=True) == FIG07_CELL_DIGEST_TRACE_ON
