@@ -8,11 +8,13 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: ci test ruff repro-lint repro-verify repro-det perturb-smoke \
+.PHONY: ci test ruff repro-lint repro-verify repro-det repro-hot \
+	repro-analyze hot-profile-smoke perturb-smoke \
 	parallel-smoke sanitize backend-matrix compiled-backend mypy \
 	perf-guard backend-perf-guard heavy-traffic-smoke
 
-ci: test ruff repro-lint repro-verify repro-det perturb-smoke \
+ci: test ruff repro-lint repro-verify repro-det repro-hot \
+	hot-profile-smoke perturb-smoke \
 	parallel-smoke sanitize backend-matrix mypy perf-guard \
 	backend-perf-guard heavy-traffic-smoke
 	@echo "== ci: all jobs done =="
@@ -45,6 +47,22 @@ repro-verify:
 repro-det:
 	@echo "== ci job: repro-det =="
 	$(PYTHON) -m repro.analysis.det src
+
+repro-hot:
+	@echo "== ci job: repro-hot =="
+	$(PYTHON) -m repro.analysis.hot src
+
+# Not a CI job of its own — the four analyzer jobs gate individually —
+# but the one-process front door the pre-commit hook uses; handy for a
+# local whole-tree sweep with one shared Program assembly.
+repro-analyze:
+	@echo "== repro-analyze (lint + verify + det + hot) =="
+	$(PYTHON) -m repro.analysis.front src
+
+hot-profile-smoke:
+	@echo "== ci job: hot-profile-smoke =="
+	$(PYTHON) -m repro.analysis.hot src --profile fig07 \
+		--budget 5 --bench-dir /tmp/repro-hotprof
 
 perturb-smoke:
 	@echo "== ci job: perturb-smoke =="

@@ -25,7 +25,7 @@ __all__ = ["AdmittedSession", "Procedure"]
 RATE_EPSILON = 1e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmittedSession:
     """What a procedure remembers about an admitted session."""
 

@@ -16,6 +16,7 @@ from repro.analysis.lint.cache import AnalysisCache
 from repro.analysis.lint.core import LintError, Violation
 from repro.analysis.det.rules import registered_rules
 from repro.analysis.verify.core import build_program
+from repro.analysis.verify.model import Program
 from repro.analysis.verify.rules import ProgramRule
 
 __all__ = [
@@ -34,10 +35,17 @@ def default_rules() -> List[ProgramRule]:
 
 def analyze_determinism(paths: Iterable[Path],
                         rules: Optional[Iterable[ProgramRule]] = None,
-                        cache: Optional[AnalysisCache] = None
+                        cache: Optional[AnalysisCache] = None,
+                        program: Optional[Program] = None
                         ) -> List[Violation]:
-    """Run the determinism rules over ``paths``, honouring suppressions."""
-    program = build_program(paths, cache=cache)
+    """Run the determinism rules over ``paths``, honouring suppressions.
+
+    ``program`` lets the ``repro-analyze`` front door share one
+    assembled :class:`Program` across analyzers instead of
+    re-extracting summaries here.
+    """
+    if program is None:
+        program = build_program(paths, cache=cache)
     rule_list = list(rules) if rules is not None else default_rules()
     findings: List[Violation] = []
     for rule in rule_list:

@@ -1,0 +1,278 @@
+"""``repro-analyze`` — the unified front door to the analyzer suite.
+
+One process, one cache warm-up, four analyzers:
+
+* **lint** — per-file DES-invariant rules (cached findings);
+* **verify** — whole-program semantic rules;
+* **det** — determinism & parallel-safety rules;
+* **hot** — hot-path performance rules.
+
+The three whole-program analyzers share a single assembled
+:class:`~repro.analysis.verify.model.Program` — summaries are
+extracted once through the ``verify`` cache namespace and reused for
+verify's, det's, and hot's rule passes, so a warm full-tree run costs
+one cache read instead of three extractions.  Exit status is the
+merge (max) of the per-analyzer statuses: 0 all clean, 1 findings
+anywhere, 2 any analyzer failed to run.
+
+``--select`` filters at two grains: ``--select det`` runs one
+analyzer, ``--select hot:unslotted-hot-class`` one rule.  Output is
+``text`` (per-analyzer sections), ``json`` (one object per
+analyzer), or ``sarif`` (one SARIF 2.1.0 log with one run per
+analyzer — what GitHub code scanning ingests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.lint.changed import GitError, changed_python_files
+from repro.analysis.lint.core import LintError, Violation, \
+    iter_python_files
+from repro.analysis.lint.reporters import render_text
+
+__all__ = ["main", "build_parser", "ANALYZERS", "run_suite"]
+
+#: Analyzer execution order (lint's per-file pass first, then the
+#: whole-program passes over the shared Program).
+ANALYZERS: Tuple[str, ...] = ("lint", "verify", "det", "hot")
+
+
+def _registries() -> Dict[str, Dict[str, type]]:
+    from repro.analysis.det.rules import registered_rules as det_rules
+    from repro.analysis.hot.rules import registered_rules as hot_rules
+    from repro.analysis.lint.core import registered_rules as lint_rules
+    from repro.analysis.verify.rules import (
+        registered_rules as verify_rules,
+    )
+    return {
+        "lint": lint_rules(),
+        "verify": verify_rules(),
+        "det": det_rules(),
+        "hot": hot_rules(),
+    }
+
+
+def _parse_selection(raw: Optional[List[str]],
+                     registries: Dict[str, Dict[str, type]],
+                     parser: argparse.ArgumentParser
+                     ) -> Dict[str, List[str]]:
+    """``{analyzer: [rule ids]}`` for the analyzers that should run."""
+    if not raw:
+        return {name: sorted(registries[name]) for name in ANALYZERS}
+    selection: Dict[str, List[str]] = {}
+    for item in raw:
+        analyzer, _, rule_id = item.partition(":")
+        if analyzer not in registries:
+            parser.error(
+                f"unknown analyzer {analyzer!r} "
+                f"(available: {', '.join(ANALYZERS)})")
+        if rule_id:
+            if rule_id not in registries[analyzer]:
+                parser.error(
+                    f"unknown rule {rule_id!r} for analyzer "
+                    f"{analyzer!r} (see --list-rules)")
+            selection.setdefault(analyzer, []).append(rule_id)
+        else:
+            selection[analyzer] = sorted(registries[analyzer])
+    return selection
+
+
+def run_suite(paths: Sequence[Path],
+              selection: Dict[str, List[str]],
+              registries: Dict[str, Dict[str, type]],
+              cache_dir: Optional[Path]
+              ) -> Dict[str, List[Violation]]:
+    """Run the selected analyzers over ``paths`` with shared state.
+
+    Raises :class:`LintError` when any file cannot be analyzed.
+    """
+    results: Dict[str, List[Violation]] = {}
+
+    if "lint" in selection:
+        from repro.analysis.lint.cli import lint_paths
+        full = selection["lint"] == sorted(registries["lint"])
+        # Cached entries hold full-rule-set results; subset runs must
+        # not read or write them (same contract as repro-lint).
+        cache = AnalysisCache(cache_dir, kind="lint") \
+            if cache_dir is not None and full else None
+        rules = [registries["lint"][rule_id]()
+                 for rule_id in selection["lint"]]
+        try:
+            results["lint"] = lint_paths(list(paths), rules,
+                                         cache=cache)
+        finally:
+            if cache is not None:
+                cache.save()
+
+    program_needed = [name for name in ("verify", "det", "hot")
+                      if name in selection]
+    if not program_needed:
+        return results
+
+    from repro.analysis.verify.core import build_program
+    cache = AnalysisCache(cache_dir, kind="verify") \
+        if cache_dir is not None else None
+    try:
+        program = build_program(paths, cache=cache)
+    finally:
+        if cache is not None:
+            cache.save()
+
+    if "verify" in selection:
+        from repro.analysis.verify.core import analyze_program
+        rules = [registries["verify"][rule_id]()
+                 for rule_id in selection["verify"]]
+        results["verify"] = analyze_program(paths, rules,
+                                            program=program)
+
+    if "det" in selection:
+        from repro.analysis.det.core import analyze_determinism
+        rules = [registries["det"][rule_id]()
+                 for rule_id in selection["det"]]
+        results["det"] = analyze_determinism(paths, rules,
+                                             program=program)
+
+    if "hot" in selection:
+        from repro.analysis.hot.core import analyze_hot
+        rules = [registries["hot"][rule_id]()
+                 for rule_id in selection["hot"]]
+        cache = AnalysisCache(cache_dir, kind="hot") \
+            if cache_dir is not None else None
+        try:
+            results["hot"] = analyze_hot(paths, rules, cache=cache,
+                                         program=program)
+        finally:
+            if cache is not None:
+                cache.save()
+
+    return results
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=("Unified front door to the Leave-in-Time "
+                     "analyzer suite: repro-lint, repro-verify, "
+                     "repro-det, and repro-hot in one process over "
+                     "one shared cache warm-up."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", metavar="ANALYZER[:RULE]",
+        default=None,
+        help="run only this analyzer, or only this rule of it "
+             "(repeatable; e.g. --select det --select "
+             "hot:unslotted-hot-class)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every analyzer's rules and exit")
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files differing from origin/main "
+             "(or --since) plus untracked files; whole-program "
+             "analyzers still assemble the full program")
+    parser.add_argument(
+        "--since", metavar="REV", default=None,
+        help="base revision for --changed (default: origin/main, "
+             "falling back to main, then HEAD)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-extract every file instead of using the caches")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=str(DEFAULT_CACHE_DIR),
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    registries = _registries()
+
+    if options.list_rules:
+        for name in ANALYZERS:
+            for rule_id in sorted(registries[name]):
+                rule = registries[name][rule_id]
+                print(f"{name}:{rule_id}: {rule.description}")
+        return 0
+
+    selection = _parse_selection(options.select, registries, parser)
+
+    paths: List[Path] = []
+    for raw in options.paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such file or directory: {raw}")
+        paths.append(path)
+
+    changed: Optional[List[Path]] = None
+    if options.changed:
+        try:
+            changed = changed_python_files(paths, since=options.since)
+        except GitError as exc:
+            print(f"repro-analyze: error: {exc}", file=sys.stderr)
+            return 2
+        if not changed:
+            print("clean (no changed files)")
+            return 0
+
+    cache_dir = None if options.no_cache else Path(options.cache_dir)
+    files_checked = sum(1 for _ in iter_python_files(paths))
+    try:
+        results = run_suite(paths, selection, registries, cache_dir)
+    except LintError as exc:
+        print(f"repro-analyze: error: {exc}", file=sys.stderr)
+        return 2
+
+    if changed is not None:
+        changed_set = {str(path.resolve()) for path in changed}
+        results = {
+            name: [violation for violation in violations
+                   if str(Path(violation.path).resolve())
+                   in changed_set]
+            for name, violations in results.items()
+        }
+
+    ran = [name for name in ANALYZERS if name in results]
+    total = sum(len(results[name]) for name in ran)
+
+    if options.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+        sections = [
+            (f"repro-{name}",
+             {rule_id: rule.description
+              for rule_id, rule in registries[name].items()},
+             results[name])
+            for name in ran
+        ]
+        print(render_sarif(sections))
+    elif options.format == "json":
+        payload = {
+            name: [{"path": v.path, "line": v.line, "col": v.col,
+                    "rule": v.rule, "message": v.message}
+                   for v in results[name]]
+            for name in ran
+        }
+        print(json.dumps({"files_checked": files_checked,
+                          "findings": payload}, indent=2,
+                         sort_keys=True))
+    else:
+        for name in ran:
+            print(f"== {name} ==")
+            print(render_text(results[name],
+                              files_checked=files_checked))
+    return 1 if total else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

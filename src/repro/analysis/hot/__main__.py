@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.hot`` — see :mod:`repro.analysis.hot.cli`."""
+
+from repro.analysis.hot.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""Command-line entry point: ``python -m repro.analysis.hot [paths]``.
+
+Exit status mirrors the rest of the suite: 0 clean, 1 findings (or a
+busted ``--budget``), 2 usage errors or unanalyzable files.  Also
+installed as the ``repro-hot`` console script.
+
+Two halves share the entry point:
+
+* the default **static** run — the five hot-path rules over the
+  kernel-reachable closure, with the shared summary cache,
+  ``--select``, ``--changed``, and text/JSON/SARIF output;
+* ``--profile <scenario>`` — the dynamic half: run a shortened
+  workload under cProfile, join measured per-function cumulative time
+  onto the findings, and print them hottest-first.  ``--budget PCT``
+  turns the ranking into a gate: exit 1 only when a finding sits in a
+  function that consumed at least PCT percent of the profiled run.
+  With ``--bench-dir`` the run is stamped into a
+  ``BENCH_hot-profile-<scenario>.json`` record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.lint.changed import GitError, changed_python_files
+from repro.analysis.lint.core import LintError, Violation, \
+    iter_python_files
+from repro.analysis.lint.reporters import render_json, render_text
+from repro.analysis.hot.core import analyze_hot, build_hot_program
+from repro.analysis.hot.rules import registered_rules
+
+__all__ = ["main", "build_parser", "rules_metadata"]
+
+
+def rules_metadata() -> dict:
+    """``{rule id: description}`` for SARIF tool metadata."""
+    return {rule_id: rule.description
+            for rule_id, rule in registered_rules().items()}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hot",
+        description=("Hot-path performance analysis for the "
+                     "Leave-in-Time reproduction: provable-cost rules "
+                     "scoped to the kernel-reachable closure, plus a "
+                     "cProfile-driven hotness ranking (--profile)."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", metavar="RULE", default=None,
+        help="run only this rule id (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files differing from origin/main "
+             "(or --since) plus untracked files; the whole program is "
+             "still analyzed so the reachability closure stays exact")
+    parser.add_argument(
+        "--since", metavar="REV", default=None,
+        help="base revision for --changed (default: origin/main, "
+             "falling back to main, then HEAD)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-extract every file instead of using the summary cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=str(DEFAULT_CACHE_DIR),
+        help=f"summary cache directory (default: {DEFAULT_CACHE_DIR})")
+    profile = parser.add_argument_group("profile-guided ranking")
+    profile.add_argument(
+        "--profile", metavar="SCENARIO", default=None,
+        help="run this scenario under cProfile and rank the findings "
+             "by measured hotness (see --list-scenarios)")
+    profile.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the profileable scenarios and exit")
+    profile.add_argument(
+        "--horizon", type=float, default=None, metavar="SECONDS",
+        help="simulated seconds for the profiled run (default: "
+             "per-scenario)")
+    profile.add_argument(
+        "--budget", type=float, default=None, metavar="PCT",
+        help="exit 1 only when a finding's enclosing function consumed "
+             "at least PCT%% of the profiled run (requires --profile)")
+    profile.add_argument(
+        "--bench-dir", metavar="DIR", default=None,
+        help="write a BENCH_hot-profile-<scenario>.json record into "
+             "this directory")
+    return parser
+
+
+def _render_ranked(ranked, report) -> str:
+    lines = [f"hot-path findings ranked by {report.scenario!r} profile "
+             f"({report.wall_time_s:.3f}s profiled, "
+             f"{report.simulated_s:g} simulated seconds)"]
+    for violation, fraction in ranked:
+        share = "  cold" if fraction is None \
+            else f"{100.0 * fraction:5.1f}%"
+        lines.append(f"{share}  {violation.render()}")
+    if len(lines) == 1:
+        lines.append("clean (no static findings to rank)")
+    return "\n".join(lines)
+
+
+def _run_profile(options: argparse.Namespace,
+                 parser: argparse.ArgumentParser,
+                 paths: List[Path], rules,
+                 cache: Optional[AnalysisCache]) -> int:
+    # Imported here: the profiler pulls the experiment stack, which
+    # the static path (CI's hot path) must not pay for.
+    from repro.analysis import bench
+    from repro.analysis.hot.profile import (
+        profile_scenario,
+        rank_findings,
+        scenarios,
+    )
+
+    registry = scenarios()
+    if options.profile not in registry:
+        parser.error(f"unknown scenario {options.profile!r} "
+                     f"(available: {', '.join(sorted(registry))})")
+    try:
+        hot = build_hot_program(paths, cache=cache)
+    except LintError as exc:
+        print(f"repro-hot: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cache is not None:
+            cache.save()
+    findings: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check(hot):
+            if hot.program.is_suppressed(violation.path,
+                                         violation.line,
+                                         violation.rule):
+                continue
+            findings.append(violation)
+    findings.sort()
+
+    watch = bench.Stopwatch()
+    report = profile_scenario(options.profile, horizon=options.horizon)
+    ranked = rank_findings(findings, hot, report.index)
+    print(_render_ranked(ranked, report))
+
+    if options.bench_dir is not None:
+        record = bench.make_record(
+            f"hot-profile-{report.scenario}",
+            wall_time_s=watch.elapsed(),
+            events_dispatched=report.events,
+            workers=1,
+            simulated_s=report.simulated_s,
+            cells=1,
+        )
+        bench.write_record(record, options.bench_dir)
+
+    if options.budget is not None:
+        hot_findings = [violation for violation, fraction in ranked
+                        if fraction is not None
+                        and 100.0 * fraction >= options.budget]
+        return 1 if hot_findings else 0
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    registry = registered_rules()
+
+    if options.list_rules:
+        for rule_id in sorted(registry):
+            print(f"{rule_id}: {registry[rule_id].description}")
+        return 0
+
+    if options.list_scenarios:
+        from repro.analysis.hot.profile import scenarios
+        for name, scenario in sorted(scenarios().items()):
+            print(f"{name}: {scenario.description} "
+                  f"(default horizon {scenario.default_horizon:g}s)")
+        return 0
+
+    if options.budget is not None and options.profile is None:
+        parser.error("--budget requires --profile")
+
+    selected = options.select or sorted(registry)
+    unknown = [rule_id for rule_id in selected if rule_id not in registry]
+    if unknown:
+        parser.error(
+            f"unknown rule(s): {', '.join(unknown)} "
+            f"(see --list-rules)")
+    rules = [registry[rule_id]() for rule_id in selected]
+
+    paths: List[Path] = []
+    for raw in options.paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such file or directory: {raw}")
+        paths.append(path)
+
+    cache = None if options.no_cache else AnalysisCache(
+        Path(options.cache_dir), kind="hot")
+
+    if options.profile is not None:
+        return _run_profile(options, parser, paths, rules, cache)
+
+    changed: Optional[List[Path]] = None
+    if options.changed:
+        try:
+            changed = changed_python_files(paths, since=options.since)
+        except GitError as exc:
+            print(f"repro-hot: error: {exc}", file=sys.stderr)
+            return 2
+        if not changed:
+            print("clean (no changed files)")
+            return 0
+
+    files_checked = sum(1 for _ in iter_python_files(paths))
+    try:
+        violations = analyze_hot(paths, rules, cache=cache)
+    except LintError as exc:
+        print(f"repro-hot: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cache is not None:
+            cache.save()
+
+    if changed is not None:
+        changed_set = {str(path.resolve()) for path in changed}
+        violations = [violation for violation in violations
+                      if str(Path(violation.path).resolve())
+                      in changed_set]
+
+    if options.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+        print(render_sarif([("repro-hot", rules_metadata(),
+                             violations)]))
+    else:
+        renderer = render_json if options.format == "json" \
+            else render_text
+        print(renderer(violations, files_checked=files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

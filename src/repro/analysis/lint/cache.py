@@ -4,7 +4,8 @@ Warm whole-program runs must stay inside the PR 1 budget (~0.2 s
 in-process over the full tree), which rules out re-parsing ~100 files
 per invocation.  The cache stores, per analyzed file, the lint
 findings (``kind="lint"``) or the semantic module summary used by the
-whole-program analyzers (``kind="verify"``, ``kind="det"``), keyed by
+whole-program analyzers (``kind="verify"``, ``kind="det"``,
+``kind="hot"``), keyed by
 the file's ``(path, mtime_ns, size)`` stat signature.
 
 Soundness
@@ -79,6 +80,12 @@ _IMPL_FILES_BY_KIND = {
         _LINT_DIR / "core.py",
         _LINT_DIR / "rules.py",
         _ANALYSIS_DIR / "verify" / "model.py",
+    ),
+    "hot": (
+        _LINT_DIR / "core.py",
+        _LINT_DIR / "rules.py",
+        _ANALYSIS_DIR / "verify" / "model.py",
+        _ANALYSIS_DIR / "hot" / "model.py",
     ),
 }
 

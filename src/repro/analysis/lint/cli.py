@@ -48,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"],
         help="files or directories to analyze (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)")
     parser.add_argument(
         "--select", action="append", metavar="RULE", default=None,
@@ -158,8 +158,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if cache is not None:
             cache.save()
 
-    renderer = render_json if options.format == "json" else render_text
-    print(renderer(violations, files_checked=files_checked))
+    if options.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+        rules_meta = {rule_id: rule.description
+                      for rule_id, rule in registry.items()}
+        print(render_sarif([("repro-lint", rules_meta, violations)]))
+    else:
+        renderer = render_json if options.format == "json" \
+            else render_text
+        print(renderer(violations, files_checked=files_checked))
     return 1 if violations else 0
 
 

@@ -55,10 +55,17 @@ def build_program(paths: Iterable[Path],
 
 def analyze_program(paths: Iterable[Path],
                     rules: Optional[Iterable[ProgramRule]] = None,
-                    cache: Optional[AnalysisCache] = None
+                    cache: Optional[AnalysisCache] = None,
+                    program: Optional[Program] = None
                     ) -> List[Violation]:
-    """Run whole-program rules over ``paths``, honouring suppressions."""
-    program = build_program(paths, cache=cache)
+    """Run whole-program rules over ``paths``, honouring suppressions.
+
+    ``program`` lets the ``repro-analyze`` front door share one
+    assembled :class:`Program` across analyzers instead of
+    re-extracting summaries here.
+    """
+    if program is None:
+        program = build_program(paths, cache=cache)
     rule_list = list(rules) if rules is not None else default_rules()
     findings: List[Violation] = []
     for rule in rule_list:

@@ -74,7 +74,7 @@ class SanitizerError(SimulationError):
         return str(self.args[0]) if self.args else "{}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SanitizerViolation:
     """One broken invariant at one simulated instant."""
 

@@ -49,7 +49,7 @@ PACKET = 424.0
 TRUNKS = 48
 
 
-@dataclass
+@dataclass(slots=True)
 class CallRecord:
     call_id: int
     arrived_at: float
@@ -129,7 +129,8 @@ class _ChurnDriver:
                                   priority=PRIORITY_NORMAL)
 
     def _call_arrives(self) -> None:
-        sim = self.network.sim
+        network = self.network
+        sim = network.sim
         call_id = self._next_id
         self._next_id += 1
         record = CallRecord(call_id=call_id, arrived_at=sim.now,
@@ -143,10 +144,10 @@ class _ChurnDriver:
         except AdmissionError:
             record.blocked = True
         else:
-            self.network.add_session(session, keep_samples=False)
+            network.add_session(session, keep_samples=False)
             record.bound = compute_session_bounds(
-                self.network, session).max_delay
-            source = OnOffSource(self.network, session, length=PACKET,
+                network, session).max_delay
+            source = OnOffSource(network, session, length=PACKET,
                                  spacing=ms(13.25), mean_on=ms(352),
                                  mean_off=ms(650))
             source.start()
@@ -157,17 +158,18 @@ class _ChurnDriver:
                      priority=PRIORITY_NORMAL)
 
     def _call_ends(self, call_id: int) -> None:
+        network = self.network
         session, source = self._sources.pop(call_id)
         source.stop()
         self.controller.release(session)
         record = next(c for c in self.result.calls
                       if c.call_id == call_id)
         self._harvest(record, session)
-        record.ended_at = self.network.sim.now
+        record.ended_at = network.sim.now
         # Tear the call down immediately, even with packets still in
         # flight: remove_session drains then forgets, so no deferred
         # cleanup-and-retry dance is needed.
-        self.network.remove_session(session.id, keep_sink=False)
+        network.remove_session(session.id, keep_sink=False)
 
     def _harvest(self, record: CallRecord, session: Session) -> None:
         sink = self.network.sinks[session.id]

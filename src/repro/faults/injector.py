@@ -107,11 +107,12 @@ class NodeFaultState:
         windows never open consumes no randomness at all and the node's
         stream stays aligned with a fault-free run.
         """
+        rng = self.rng
         rate = self.loss_rate
-        if rate > 0.0 and self.rng.random() < rate:
+        if rate > 0.0 and rng.random() < rate:
             return "loss"
         rate = self.corrupt_rate
-        if rate > 0.0 and self.rng.random() < rate:
+        if rate > 0.0 and rng.random() < rate:
             return "corrupt"
         return None
 

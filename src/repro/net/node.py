@@ -208,7 +208,8 @@ class ServerNode:
         """A packet's last bit arrived at this node."""
         now = self.sim.now
         packet.arrival_time = now
-        session_id = packet.session.id
+        session = packet.session
+        session_id = session.id
 
         soa = self._soa
         if soa is None:
@@ -230,7 +231,7 @@ class ServerNode:
             if samples is not None:
                 samples.record(now, occupancy)
         else:
-            slot = packet.session.slot
+            slot = session.slot
             if slot < 0:
                 raise SimulationError(
                     f"packet of session {session_id!r} reached node "
@@ -287,7 +288,8 @@ class ServerNode:
             # Link down or node paused: packets stay queued (and held
             # packets keep maturing); recovery calls wakeup().
             return
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         packet = self.scheduler.next_packet(now)
         if packet is None:
             return
@@ -306,12 +308,13 @@ class ServerNode:
         # resolves by insertion order — the arrival was scheduled first
         # and is processed first, which is the store-and-forward order
         # the buffer-occupancy sampling assumes.
-        self._tx_event = self.sim.schedule(
+        self._tx_event = sim.schedule(
             transmission, self._finish_transmission, packet,
             priority=PRIORITY_NORMAL)
 
     def _finish_transmission(self, packet: Packet) -> None:
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         if self.transmitting is not packet:
             # Unreachable by construction: abort_transmission cancels
             # the completion event before clearing ``transmitting``, so
@@ -323,14 +326,15 @@ class ServerNode:
         packet.finish_time = now
         self.scheduler.on_transmit_complete(packet, now)
 
-        session_id = packet.session.id
+        session = packet.session
+        session_id = session.id
         soa = self._soa
         if soa is None:
             buf = self._buffers.get(session_id)
             if buf is not None:
                 buf.bits -= packet.length
         else:
-            slot = packet.session.slot
+            slot = session.slot
             if slot >= 0:
                 soa.bits[slot] -= packet.length
         self.packets_served += 1
@@ -372,8 +376,8 @@ class ServerNode:
         network = self.network
         shard = network.shard
         if shard is None or not shard.intercept(self, packet):
-            self.sim.schedule(self.link.propagation, network.deliver,
-                              packet, priority=PRIORITY_NORMAL)
+            sim.schedule(self.link.propagation, network.deliver,
+                         packet, priority=PRIORITY_NORMAL)
         san = self.sanitizer
         if san is not None:
             san.on_forward(self, packet)
@@ -420,7 +424,8 @@ class ServerNode:
         buffer path uses, which keeps ``Network._in_flight`` — and with
         it the drain-then-forget machinery — exact under faults.
         """
-        session_id = packet.session.id
+        session = packet.session
+        session_id = session.id
         san = self.sanitizer
         if san is not None:
             san.on_fault_drop(self, packet, reason)
@@ -432,7 +437,7 @@ class ServerNode:
                     buf.bits -= packet.length
                 buf.drops += 1
         else:
-            slot = packet.session.slot
+            slot = session.slot
             if slot >= 0:
                 if release_buffer:
                     soa.bits[slot] -= packet.length

@@ -23,6 +23,9 @@ __all__ = ["Sink"]
 class Sink:
     """Per-session packet sink with delay statistics."""
 
+    __slots__ = ("session_id", "warmup", "delay", "samples", "packets",
+                 "received", "bits_received")
+
     def __init__(self, session_id: str, *,
                  keep_samples: bool = True,
                  max_samples: Optional[int] = None,

@@ -79,13 +79,14 @@ class DeficitRoundRobin(Scheduler):
         self._backlog += 1
 
     def next_packet(self, now: float) -> Optional[Packet]:
-        if not self._active:
+        active = self._active
+        if not active:
             return None
         # Terminates: every full rotation adds at least one quantum to
         # every active session's deficit, so the smallest head packet
         # is eventually covered.
         while True:
-            session_id = self._active[0]
+            session_id = active[0]
             queue = self._queues[session_id]
             head = queue[0]
             if self._deficit[session_id] >= head.length - 1e-9:
@@ -93,12 +94,12 @@ class DeficitRoundRobin(Scheduler):
                 queue.popleft()
                 self._backlog -= 1
                 if not queue:
-                    self._active.popleft()
+                    active.popleft()
                     self._deficit[session_id] = 0.0
                 return head
             # Head does not fit: grant the quantum and rotate.
             self._deficit[session_id] += self._quantum_of(session_id)
-            self._active.rotate(-1)
+            active.rotate(-1)
 
     def on_transmit_complete(self, packet: Packet, now: float) -> None:
         packet.holding_time = 0.0

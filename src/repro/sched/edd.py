@@ -98,25 +98,20 @@ class DelayEDD(Scheduler):
         soa = self._soa
         if soa is not None:
             slot = session.slot
-            if slot >= 0:
-                if soa.cached.item(slot):
-                    return soa.d_local.item(slot)
-                bound = self.local_delays.get(session.id)
-                if bound is None:
-                    bound = session.l_max / session.rate
-                soa.d_local[slot] = bound
-                soa.cached[slot] = True
-                return bound
-            # Torn down mid-flight: resolve without caching (the slot
-            # may already belong to another session).
-            bound = self.local_delays.get(session.id)
-            if bound is None:
-                bound = session.l_max / session.rate
-            return bound
+            if slot >= 0 and soa.cached.item(slot):
+                return soa.d_local.item(slot)
+        else:
+            slot = -1
         bound = self.local_delays.get(session.id)
         if bound is None:
             bound = session.l_max / session.rate
-            self.local_delays[session.id] = bound
+            if soa is None:
+                self.local_delays[session.id] = bound
+        if soa is not None and slot >= 0:
+            soa.d_local[slot] = bound
+            soa.cached[slot] = True
+        # A torn-down session (slot < 0 in SoA mode) resolves without
+        # caching: the slot may already belong to another session.
         return bound
 
     def _eligibility(self, packet: Packet, now: float) -> float:

@@ -75,14 +75,15 @@ class HierarchicalRoundRobin(Scheduler):
         if self._frame_timer_armed:
             return
         self._frame_timer_armed = True
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         boundary = (math.floor(now / self.frame) + 1) * self.frame
         while boundary <= now:  # guard against float rounding
             boundary += self.frame
         self._next_boundary = boundary
         # Tie-break: NORMAL — the boundary callback keeps insertion
         # order against packet events at the same instant.
-        self.sim.schedule_at(boundary, self._frame_boundary,
+        sim.schedule_at(boundary, self._frame_boundary,
                              priority=PRIORITY_NORMAL)
 
     def _frame_boundary(self) -> None:
@@ -111,9 +112,10 @@ class HierarchicalRoundRobin(Scheduler):
 
     def next_packet(self, now: float) -> Optional[Packet]:
         # One full round-robin scan starting after the last served slot.
-        for _ in range(len(self._order)):
-            session_id = self._order.pop(0)
-            self._order.append(session_id)
+        order = self._order
+        for _ in range(len(order)):
+            session_id = order.pop(0)
+            order.append(session_id)
             queue = self._queues[session_id]
             if not queue:
                 continue

@@ -91,11 +91,11 @@ class _SessionState:
         may run at any point before traffic starts.
         """
         if self.policy is None:
-            assigned = self.session.policy_for(node_name)
+            session = self.session
+            assigned = session.policy_for(node_name)
             if assigned is None:
                 assigned = virtual_clock_policy(
-                    self.session.rate, self.session.l_max,
-                    self.session.l_min)
+                    session.rate, session.l_max, session.l_min)
             self.policy = assigned
         return self.policy
 
@@ -182,19 +182,20 @@ class LeaveInTime(Scheduler):
 
     def on_arrival(self, packet: Packet, now: float) -> None:
         session = packet.session
+        node = self.node
         soa = self._soa
         if soa is None:
             state = self._sessions.get(session.id)
             if state is None:
                 state = _SessionState(session)
                 self._sessions[session.id] = state
-            policy = state.resolve_policy(self.node.name)
+            policy = state.resolve_policy(node.name)
         else:
             slot = session.slot
             if slot < 0:
                 raise SimulationError(
                     f"packet of session {session.id!r} reached "
-                    f"{self.node.name} without a session-table slot")
+                    f"{node.name} without a session-table slot")
             if not soa.member.item(slot):
                 self._soa_admit(slot)
             if not soa.resolved.item(slot):
@@ -241,13 +242,13 @@ class LeaveInTime(Scheduler):
 
         tracer = self.tracer
         if tracer.enabled:
-            tracer.emit(now, "deadline", node=self.node.name,
+            tracer.emit(now, "deadline", node=node.name,
                         session=session.id, packet=packet.seq,
                         eligible=eligible_at, deadline=packet.deadline,
                         k=k_next)
         san = self.sanitizer
         if san is not None:
-            san.on_lit_labels(self.node.name, session.id,
+            san.on_lit_labels(node.name, session.id,
                               packet.deadline, k_next, now)
 
         if eligible_at <= now:
@@ -262,22 +263,24 @@ class LeaveInTime(Scheduler):
             # order is load-bearing for deadline ties.
             event = self.sim.schedule_at(eligible_at, self._release,
                                          packet, priority=PRIORITY_NORMAL)
+            entry = (event, packet)
             if soa is None:
-                state.pending[packet.seq] = (event, packet)
+                state.pending[packet.seq] = entry
             else:
                 holds = self._pending.get(slot)
                 if holds is None:
                     holds = self._pending[slot] = {}
-                holds[packet.seq] = (event, packet)
+                holds[packet.seq] = entry
 
     def _release(self, packet: Packet) -> None:
         """A delay regulator hold expired; queue the packet for service."""
+        session = packet.session
         if self._soa is None:
-            state = self._sessions.get(packet.session.id)
+            state = self._sessions.get(session.id)
             if state is not None:
                 state.pending.pop(packet.seq, None)
         else:
-            holds = self._pending.get(packet.session.slot)
+            holds = self._pending.get(session.slot)
             if holds is not None:
                 holds.pop(packet.seq, None)
         self._held -= 1
@@ -308,6 +311,8 @@ class LeaveInTime(Scheduler):
         # this node's: F (deadline), F̂ (actual finish = now), d_max and
         # d_i from the session's policy here, L_MAX network-wide, C of
         # this node's outgoing link.
+        node = self.node
+        l_max_network = node.network.l_max
         soa = self._soa
         if soa is not None:
             slot = session.slot
@@ -321,39 +326,37 @@ class LeaveInTime(Scheduler):
                 # Session torn down while this packet was in flight:
                 # relabel from the session's own assignment (never
                 # caching into a possibly recycled slot).
-                policy = session.policy_for(self.node.name) \
+                policy = session.policy_for(node.name) \
                     or virtual_clock_policy(session.rate, session.l_max,
                                             session.l_min)
                 d_max = policy.d_max
                 d_i = policy.d_of(packet.length)
-            l_max_network = self.node.network.l_max
             holding = (packet.deadline + l_max_network / self.capacity
                        - now + d_max - d_i)
             if holding < -_HOLD_EPSILON:
                 raise SimulationError(
                     f"holding-time computation went negative ({holding}) "
-                    f"for {session.id}#{packet.seq} at {self.node.name}; "
+                    f"for {session.id}#{packet.seq} at {node.name}; "
                     "this indicates scheduler saturation")
             packet.holding_time = max(0.0, holding)
             return
         state = self._sessions.get(session.id)
         if state is not None:
-            policy = state.resolve_policy(self.node.name)
+            policy = state.resolve_policy(node.name)
         else:
             # Session torn down while this packet was in flight:
             # relabel with the session's own assignment (VirtualClock
             # default) so draining packets still carry a consistent
             # downstream holding time instead of raising KeyError.
-            policy = session.policy_for(self.node.name) \
+            policy = session.policy_for(node.name) \
                 or virtual_clock_policy(session.rate, session.l_max,
                                         session.l_min)
-        l_max_network = self.node.network.l_max
         holding = (packet.deadline + l_max_network / self.capacity - now
                    + policy.d_max - policy.d_of(packet.length))
         if holding < -_HOLD_EPSILON:
             raise SimulationError(
                 f"holding-time computation went negative ({holding}) for "
-                f"{session.id}#{packet.seq} at {self.node.name}; "
+                f"{session.id}#{packet.seq} at {node.name}; "
                 "this indicates scheduler saturation")
         packet.holding_time = max(0.0, holding)
 
@@ -396,10 +399,11 @@ class LeaveInTime(Scheduler):
             if not holds:
                 return
             tracer = self.tracer
+            eligible = self._eligible
             for event, packet in holds.values():  # repro: disable=nondeterministic-iteration -- holds is keyed by monotonically increasing seq and dicts preserve insertion order, so this iteration is deterministic
                 event.cancel()
                 self._held -= 1
-                self._eligible.push(packet)
+                eligible.push(packet)
                 if tracer.enabled:
                     tracer.emit(self.sim.now, "flush",
                                 node=self.node.name, session=session_id,
@@ -410,14 +414,16 @@ class LeaveInTime(Scheduler):
         if state is None or not state.pending:
             return
         tracer = self.tracer
-        for event, packet in state.pending.values():  # repro: disable=nondeterministic-iteration -- pending is keyed by monotonically increasing seq and dicts preserve insertion order, so this iteration is deterministic
+        eligible = self._eligible
+        pending = state.pending
+        for event, packet in pending.values():  # repro: disable=nondeterministic-iteration -- pending is keyed by monotonically increasing seq and dicts preserve insertion order, so this iteration is deterministic
             event.cancel()
             self._held -= 1
-            self._eligible.push(packet)
+            eligible.push(packet)
             if tracer.enabled:
                 tracer.emit(self.sim.now, "flush", node=self.node.name,
                             session=session_id, packet=packet.seq)
-        state.pending.clear()
+        pending.clear()
         self._wake_node()
 
     def session_state(self, session_id: str) -> _SessionState:
@@ -457,13 +463,14 @@ class LeaveInTime(Scheduler):
                 holds.clear()
         else:
             for state in self._sessions.values():
-                if not state.pending:
+                pending = state.pending
+                if not pending:
                     continue
-                for event, packet in state.pending.values():
+                for event, packet in pending.values():
                     event.cancel()
                     self._held -= 1
                     flushed.append(packet)
-                state.pending.clear()
+                pending.clear()
         while True:
             packet = self._eligible.pop()
             if packet is None:

@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError
 __all__ = ["DelayPolicy", "virtual_clock_policy", "constant_policy"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DelayPolicy:
     """Affine per-packet delay parameter ``d(L) = slope·L + offset``.
 

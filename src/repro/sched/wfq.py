@@ -43,6 +43,10 @@ class GpsVirtualTime:
     virtual start/finish pair at the current instant.
     """
 
+    __slots__ = ("capacity", "v", "_t_last", "_gps_heap",
+                 "_gps_counts", "_active_rate", "_rates",
+                 "_last_finish")
+
     def __init__(self, capacity: float) -> None:
         self.capacity = capacity
         self.v = 0.0

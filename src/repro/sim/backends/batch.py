@@ -126,10 +126,11 @@ class BatchSimulator(Simulator):
         else:
             event = Event(time, priority, seq, callback, args)
             event._queue = queue
+        entry = (time, priority, seq, event)
         if self._defer:
-            self._deferred.append((time, priority, seq, event))
+            self._deferred.append(entry)
         else:
-            heapq.heappush(queue._heap, (time, priority, seq, event))
+            heapq.heappush(queue._heap, entry)
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
@@ -154,10 +155,11 @@ class BatchSimulator(Simulator):
         else:
             event = Event(time, priority, seq, callback, args)
             event._queue = queue
+        entry = (time, priority, seq, event)
         if self._defer:
-            self._deferred.append((time, priority, seq, event))
+            self._deferred.append(entry)
         else:
-            heapq.heappush(queue._heap, (time, priority, seq, event))
+            heapq.heappush(queue._heap, entry)
         return event
 
     # ------------------------------------------------------------------

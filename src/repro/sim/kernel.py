@@ -367,7 +367,7 @@ class Simulator:
                     stop = Event(until, sentinel, seq, _raise_stop, ())
                     heappush(heap, (until, sentinel, seq, stop))
                 while True:
-                    try:
+                    try:  # repro: disable=exception-control-flow-in-hot-path -- the IndexError fires once per run() when the heap drains, not per event; a "while heap" truth test would cost more on every iteration
                         time, _p, _s, event = heappop(heap)
                     except IndexError:
                         break

@@ -133,6 +133,8 @@ class TimeSeries:
     distribution plots.)
     """
 
+    __slots__ = ("name", "max_samples", "_times", "_values", "dropped")
+
     def __init__(self, name: str = "series",
                  max_samples: Optional[int] = None) -> None:
         self.name = name

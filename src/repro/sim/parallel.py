@@ -119,7 +119,7 @@ NetworkBuilder = Callable[[], "Network"]
 PRIORITY_BOUNDARY = PRIORITY_NORMAL - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacketEnvelope:
     """A packet crossing a shard boundary, as plain picklable data.
 

@@ -28,6 +28,8 @@ __all__ = ["Process"]
 class Process:
     """Drive a generator whose yielded values are delays in seconds."""
 
+    __slots__ = ("_sim", "_generator", "name", "alive", "_pending")
+
     def __init__(self, sim: Simulator,
                  generator: Generator[float, None, None],
                  name: str = "process") -> None:
@@ -55,7 +57,7 @@ class Process:
         self._pending = None
         if not self.alive:
             return
-        try:
+        try:  # repro: disable=exception-control-flow-in-hot-path -- StopIteration is how a generator signals exhaustion; next() has no non-raising probe
             delay = next(self._generator)
         except StopIteration:
             self.alive = False

@@ -66,10 +66,11 @@ class ExponentialSampler:
         self.mean = float(mean)
 
     def sample(self) -> float:
+        draw = self._rng.random
         # Guard against u == 0 which would give inf.
-        u = self._rng.random()
+        u = draw()
         while u <= 0.0:
-            u = self._rng.random()
+            u = draw()
         return -self.mean * math.log(u)
 
 
@@ -94,8 +95,9 @@ class GeometricSampler:
     def sample(self) -> int:
         if self.p >= 1.0:
             return 1
-        u = self._rng.random()
+        draw = self._rng.random
+        u = draw()
         while u <= 0.0:
-            u = self._rng.random()
+            u = draw()
         # Inverse-CDF for P(X = k) = (1-p)^(k-1) p on k = 1, 2, ...
         return 1 + int(math.log(u) / math.log(1.0 - self.p))

@@ -23,7 +23,7 @@ from typing import Any, Dict, Iterator, List, Optional
 __all__ = ["TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced occurrence.
 

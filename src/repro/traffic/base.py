@@ -115,16 +115,18 @@ class TrafficSource:
             self._process.stop()
 
     def _run(self):
+        network = self.network
+        sim = network.sim
+        bucket = self._shaper_bucket
         for gap in self.intervals():
             yield gap
             length = self.next_length()
-            if self._shaper_bucket is not None:
-                now = self.network.sim.now
-                release = self._shaper_bucket.earliest(length, now)
+            if bucket is not None:
+                now = sim.now
+                release = bucket.earliest(length, now)
                 if release > now:
                     yield release - now
-                self._shaper_bucket.consume(length,
-                                            self.network.sim.now)
+                bucket.consume(length, sim.now)
             self._emit(length)
             if (self.max_packets is not None
                     and self.emitted >= self.max_packets):
@@ -133,8 +135,9 @@ class TrafficSource:
     def _emit(self, length: Optional[float] = None) -> None:
         if length is None:
             length = self.next_length()
-        self.network.inject(self.session, length)
+        network = self.network
+        network.inject(self.session, length)
         self.emitted += 1
         if self.keep_trace:
-            self.trace_times.append(self.network.sim.now)
+            self.trace_times.append(network.sim.now)
             self.trace_lengths.append(length)

@@ -81,13 +81,14 @@ class OnOffSource(TrafficSource):
     def intervals(self):
         # First packet: begin with an OFF draw so simultaneous sources
         # desynchronize; with mean_off == 0 the source starts immediately.
-        first_gap = self._off.sample() if self._off is not None else 0.0
+        off = self._off
+        first_gap = off.sample() if off is not None else 0.0
         pending_gap = first_gap
         while True:
             burst = self._burst_length.sample()
             for index in range(burst):
                 yield pending_gap
                 pending_gap = self.spacing
-            off_gap = self._off.sample() if self._off is not None else 0.0
+            off_gap = off.sample() if off is not None else 0.0
             # Keep every interarrival >= spacing (see module docstring).
             pending_gap = self.spacing + off_gap

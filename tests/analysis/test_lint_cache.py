@@ -74,8 +74,58 @@ def test_fingerprint_is_namespaced_per_analyzer():
     # extraction model, and before per-kind namespacing a cache file
     # written by one could validate for the other.
     prints = {kind: implementation_fingerprint(kind)
-              for kind in ("lint", "verify", "det")}
-    assert len(set(prints.values())) == 3
+              for kind in ("lint", "verify", "det", "hot")}
+    assert len(set(prints.values())) == 4
+
+
+def test_hot_only_implementation_edit_invalidates_only_hot(
+        tmp_path, monkeypatch):
+    # The hot analyzer's fingerprint set is the det set plus
+    # hot/model.py.  Editing the hot-only file must roll the "hot"
+    # fingerprint while leaving "det" untouched — and an edit to a
+    # shared file must roll both.
+    import repro.analysis.lint.cache as cache_mod
+
+    shared = tmp_path / "shared_model.py"
+    hot_only = tmp_path / "hot_model.py"
+    shared.write_text("SHARED = 1\n")
+    hot_only.write_text("HOT = 1\n")
+    monkeypatch.setattr(cache_mod, "_IMPL_FILES_BY_KIND", {
+        "det": (shared,),
+        "hot": (shared, hot_only),
+    })
+
+    det_before = implementation_fingerprint("det")
+    hot_before = implementation_fingerprint("hot")
+    hot_only.write_text("HOT = 2\n")
+    assert implementation_fingerprint("det") == det_before
+    assert implementation_fingerprint("hot") != hot_before
+
+    shared.write_text("SHARED = 2\n")
+    assert implementation_fingerprint("det") != det_before
+
+
+def test_hot_cache_entry_invalidated_by_fingerprint_roll(
+        tmp_path, monkeypatch):
+    # A cache written under one hot fingerprint must come back cold
+    # after the implementation (fingerprint) changes — the exact
+    # situation a rule/model edit in a new commit produces.
+    import repro.analysis.lint.cache as cache_mod
+
+    target = tmp_path / "mod.py"
+    target.write_text(OK_SOURCE)
+    cache = AnalysisCache(tmp_path / "cache", kind="hot")
+    cache.put(target, {"summary": {}, "hot": {}})
+    cache.save()
+
+    assert AnalysisCache(tmp_path / "cache", kind="hot").get(
+        target) is not None
+
+    monkeypatch.setattr(cache_mod, "implementation_fingerprint",
+                        lambda kind="lint": "f" * 64)
+    stale = AnalysisCache(tmp_path / "cache", kind="hot")
+    assert stale.get(target) is None
+    assert stale.misses == 1
 
 
 def test_cross_analyzer_cache_file_is_never_served(tmp_path):
@@ -221,6 +271,39 @@ def test_resolve_base_revision_falls_back_to_head(git_repo):
     assert resolve_base_revision(None) in ("main", "HEAD")
     with pytest.raises(GitError):
         resolve_base_revision("no-such-rev")
+
+
+def test_hot_changed_cli_restricts_findings_to_changed_files(
+        git_repo, capsys):
+    # The whole program is still assembled (reachability needs it),
+    # but only findings in changed files are reported — and a clean
+    # working tree short-circuits.
+    from repro.analysis.hot.cli import main as hot_main
+
+    assert hot_main(["src", "--changed", "--since", "HEAD",
+                     "--no-cache"]) == 0
+    assert "no changed files" in capsys.readouterr().out
+
+    hot_bad = (
+        "class Record:\n"
+        "    def __init__(self, when):\n"
+        "        self.when = when\n"
+        "\n"
+        "\n"
+        "def on_event(sim, now):\n"
+        "    sim.schedule(now, Record(now))\n")
+    (git_repo / "src" / "hot_dirty.py").write_text(hot_bad)
+    assert hot_main(["src", "--changed", "--since", "HEAD",
+                     "--no-cache"]) == 1
+    assert "unslotted-hot-class" in capsys.readouterr().out
+
+    # The same finding vanishes when the file is already committed
+    # (nothing changed), even though the program still contains it.
+    _git(git_repo, "add", ".")
+    _git(git_repo, "commit", "-q", "-m", "hot fixture")
+    assert hot_main(["src", "--changed", "--since", "HEAD",
+                     "--no-cache"]) == 0
+    assert "no changed files" in capsys.readouterr().out
 
 
 def test_changed_cli_paths(git_repo, capsys):

@@ -1,0 +1,11 @@
+"""allocation-in-hot-path positives (kernel-reachable via push/schedule)."""
+
+
+def on_arrival(queue, items, base):
+    for item in items:
+        queue.push((base, base))
+
+
+def on_event(sim, now, payload):
+    sim.schedule(now, [payload, payload])
+    sim.schedule(now, [payload, payload])

@@ -1,0 +1,19 @@
+"""allocation-in-hot-path negatives: hoisted, loop-dependent, constant."""
+
+
+def on_arrival(queue, items, base):
+    entry = (base, base)
+    for item in items:
+        queue.push(entry)
+
+
+def on_event(sim, now, payload):
+    entry = [payload, payload]
+    sim.schedule(now, entry)
+    sim.schedule(now, entry)
+
+
+def on_tick(queue, items):
+    for item in items:
+        queue.push((item, item))
+        queue.push((0, 1))

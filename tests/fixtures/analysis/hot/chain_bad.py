@@ -1,0 +1,11 @@
+"""attribute-chain-in-hot-loop positives: loop and per-event re-reads."""
+
+
+def drain(sim, state):
+    while state.queue.ready():
+        state.queue.pop_next()
+    sim.schedule(0.0, drain)
+
+
+def relabel(sim, packet):
+    sim.schedule(packet.session.rate, packet.session.l_max)

@@ -1,0 +1,13 @@
+"""attribute-chain-in-hot-loop negatives: prefix bound to a local."""
+
+
+def drain(sim, state):
+    queue = state.queue
+    while queue.ready():
+        queue.pop_next()
+    sim.schedule(0.0, drain)
+
+
+def relabel(sim, packet):
+    session = packet.session
+    sim.schedule(session.rate, session.l_max)

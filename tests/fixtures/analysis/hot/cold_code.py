@@ -1,0 +1,14 @@
+"""Identical patterns with no schedule/push: not kernel-reachable."""
+
+
+class Record:
+    def __init__(self, when):
+        self.when = when
+
+
+def helper(table, items, base):
+    total = []
+    for item in items:
+        total.append(table.get("limit"))
+        total.append((base, base))
+    return Record(total)

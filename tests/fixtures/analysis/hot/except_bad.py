@@ -1,0 +1,9 @@
+"""exception-control-flow-in-hot-path positive: expected-case KeyError."""
+
+
+def next_entry(sim, pending):
+    try:
+        entry = pending["head"]
+    except KeyError:
+        entry = None
+    sim.schedule(0.0, entry)

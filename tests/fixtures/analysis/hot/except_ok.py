@@ -1,0 +1,22 @@
+"""exception-control-flow-in-hot-path negatives: .get, reraise, rare."""
+
+
+def next_entry(sim, pending):
+    entry = pending.get("head")
+    sim.schedule(0.0, entry)
+
+
+def checked(sim, pending):
+    try:
+        entry = pending["head"]
+    except KeyError:
+        raise
+    sim.schedule(0.0, entry)
+
+
+def rare(sim, pending):
+    try:
+        entry = pending["head"]
+    except ValueError:
+        entry = None
+    sim.schedule(0.0, entry)

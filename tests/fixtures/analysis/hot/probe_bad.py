@@ -1,0 +1,11 @@
+"""item-call-in-hot-loop positives: invariant and duplicated probes."""
+
+
+def flush(queue, table, items):
+    for item in items:
+        queue.push(table.get("limit"))
+
+
+def on_event(queue, table, key):
+    queue.push(table.get(key))
+    queue.push(table.get(key))

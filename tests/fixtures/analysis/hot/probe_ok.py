@@ -1,0 +1,18 @@
+"""item-call-in-hot-loop negatives: hoisted / read once."""
+
+
+def flush(queue, table, items):
+    limit = table.get("limit")
+    for item in items:
+        queue.push(limit)
+
+
+def on_event(queue, table, key):
+    value = table.get(key)
+    queue.push(value)
+    queue.push(value)
+
+
+def keyed(queue, table, items):
+    for item in items:
+        queue.push(table.get(item))

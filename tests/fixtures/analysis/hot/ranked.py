@@ -1,0 +1,11 @@
+"""Two identical findings; only hot_path is exercised by the profile."""
+
+
+def hot_path(queue, items, base):
+    for item in items:
+        queue.push((base, base))
+
+
+def cold_path(queue, items, base):
+    for item in items:
+        queue.push((base, base))

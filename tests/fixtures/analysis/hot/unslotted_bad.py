@@ -1,0 +1,10 @@
+"""unslotted-hot-class positive: per-event instance with a __dict__."""
+
+
+class Record:
+    def __init__(self, when):
+        self.when = when
+
+
+def on_event(sim, now):
+    sim.schedule(now, Record(now))

@@ -1,0 +1,26 @@
+"""unslotted-hot-class negatives: slots, dataclass slots, exceptions."""
+
+from dataclasses import dataclass
+
+
+class SlottedRecord:
+    __slots__ = ("when",)
+
+    def __init__(self, when):
+        self.when = when
+
+
+@dataclass(slots=True)
+class DataRecord:
+    when: float
+
+
+class ProbeError(Exception):
+    pass
+
+
+def on_event(sim, now):
+    sim.schedule(now, SlottedRecord(now))
+    sim.schedule(now, DataRecord(now))
+    error = ProbeError("expected shape")
+    sim.schedule(now, error)

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import repro
 from repro.analysis.det import analyze_determinism
+from repro.analysis.hot import analyze_hot
 from repro.analysis.lint import analyze_paths, registered_rules, render_text
 from repro.analysis.verify import analyze_program
 
@@ -45,4 +46,13 @@ def test_src_tree_passes_determinism_analysis():
         "determinism (repro-det) violations in src/repro "
         "(fix them, or suppress with a justified '# repro: disable=' "
         "comment — see docs/determinism.md):\n"
+        + render_text(violations))
+
+
+def test_src_tree_passes_hot_path_analysis():
+    violations = analyze_hot([SRC_REPRO])
+    assert not violations, (
+        "hot-path (repro-hot) violations in src/repro "
+        "(fix them, or suppress with a justified '# repro: disable=' "
+        "comment — see docs/hot_path_analysis.md):\n"
         + render_text(violations))
